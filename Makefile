@@ -1,0 +1,48 @@
+# Convenience targets for the reproduction. Everything is plain `go`
+# underneath; the targets only fix the invocations used in EXPERIMENTS.md.
+
+GO ?= go
+
+.PHONY: all build test test-short cover bench experiments experiments-md fuzz examples vet clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment table (E1-E21) as text.
+experiments:
+	$(GO) run ./cmd/ubabench
+
+# Regenerate the Markdown tables appended to EXPERIMENTS.md.
+experiments-md:
+	$(GO) run ./cmd/ubabench -markdown
+
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzValueOrdering -fuzztime 30s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sensorfusion
+	$(GO) run ./examples/eventlog
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/clocksync
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentText(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E1", "PASS", "claim:", "accept round"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "E2") {
+		t.Fatal("-only E1 leaked other experiments")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E3", "-markdown"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### E3", "**Claim.**", "**Measured.**", "| n | f |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-only", "E99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	fsOut := &buf
+	if err := run([]string{"-nope"}, fsOut); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCaseInsensitiveOnly(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "e15"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E15") {
+		t.Fatal("case-insensitive -only failed")
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEachProtocol(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			"consensus",
+			[]string{"-protocol", "consensus", "-g", "7", "-f", "2", "-adversary", "split"},
+			[]string{"decision=", "rounds="},
+		},
+		{
+			"rotor",
+			[]string{"-protocol", "rotor", "-g", "7", "-f", "2", "-adversary", "ghost"},
+			[]string{"goodRound=", "coordinators="},
+		},
+		{
+			"rb",
+			[]string{"-protocol", "rb", "-g", "7", "-f", "2"},
+			[]string{"allAccepted=true"},
+		},
+		{
+			"trb",
+			[]string{"-protocol", "trb", "-g", "7", "-f", "2"},
+			[]string{"delivered=true", `body="payload"`},
+		},
+		{
+			"approx",
+			[]string{"-protocol", "approx", "-g", "7", "-f", "2", "-adversary", "split"},
+			[]string{"ratio="},
+		},
+		{
+			"renaming",
+			[]string{"-protocol", "renaming", "-g", "7", "-f", "2"},
+			[]string{"setSize=7", "-> 1"},
+		},
+		{
+			"impossibility-async",
+			[]string{"-protocol", "impossibility", "-timing", "async", "-g", "4"},
+			[]string{"agreement=false"},
+		},
+		{
+			"impossibility-sync",
+			[]string{"-protocol", "impossibility", "-timing", "sync", "-g", "4"},
+			[]string{"agreement=true"},
+		},
+		{
+			"concurrent runner",
+			[]string{"-protocol", "consensus", "-g", "5", "-f", "1", "-concurrent"},
+			[]string{"decision="},
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := run(tt.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v\n%s", tt.args, err, buf.String())
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(buf.String(), want) {
+					t.Fatalf("output missing %q:\n%s", want, buf.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-protocol", "bogus"},
+		{"-adversary", "bogus"},
+		{"-protocol", "impossibility", "-timing", "bogus"},
+		{"-badflag"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunWithTranscript(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	args := []string{"-protocol", "consensus", "-g", "4", "-f", "1", "-trace", "3"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"--- transcript ---", "--- round 2 ---", "init"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Command ubasweep runs custom parameter sweeps over the library's
+// protocols and emits CSV, for ad-hoc exploration beyond the fixed
+// experiment suite of ubabench (plotting rounds-vs-n for your own ranges,
+// comparing adversaries at a size ubabench does not use, etc.).
+//
+// Usage:
+//
+//	ubasweep -protocol consensus -n 4,7,13,25 -adversary split,noise -seeds 5
+//	ubasweep -protocol rotor -n 10,20,40 -adversary ghost -seeds 3
+//	ubasweep -protocol approx -n 7,31 -adversary split
+//	ubasweep -protocol renaming -n 7,13 -adversary ghost
+//	ubasweep -protocol trb -n 7,13
+//
+// Columns: protocol, n, f, adversary, seed, rounds, deliveries, bytes,
+// plus a protocol-specific result column.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"uba"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ubasweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ubasweep", flag.ContinueOnError)
+	protocol := fs.String("protocol", "consensus", "consensus|rotor|rb|trb|approx|renaming|vector")
+	sizes := fs.String("n", "4,7,13", "comma-separated system sizes (f = ⌊(n-1)/3⌋)")
+	advNames := fs.String("adversary", "silent", "comma-separated adversaries")
+	seeds := fs.Int("seeds", 3, "seeds per cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		return fmt.Errorf("-n: %w", err)
+	}
+	var advs []uba.Adversary
+	for _, name := range strings.Split(*advNames, ",") {
+		adv, err := uba.ParseAdversary(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		advs = append(advs, adv)
+	}
+	if *seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive")
+	}
+
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	if err := w.Write([]string{
+		"protocol", "n", "f", "adversary", "seed",
+		"rounds", "deliveries", "bytes", "result",
+	}); err != nil {
+		return err
+	}
+
+	for _, n := range ns {
+		if n < 2 {
+			return fmt.Errorf("n = %d too small", n)
+		}
+		f := (n - 1) / 3
+		g := n - f
+		for _, adv := range advs {
+			for seed := int64(1); seed <= int64(*seeds); seed++ {
+				cfg := uba.Config{
+					Correct: g, Byzantine: f, Adversary: adv, Seed: seed,
+				}
+				row, err := runCell(*protocol, cfg, g)
+				if err != nil {
+					return fmt.Errorf("%s n=%d adversary=%v seed=%d: %w",
+						*protocol, n, adv, seed, err)
+				}
+				record := append([]string{
+					*protocol,
+					strconv.Itoa(n),
+					strconv.Itoa(f),
+					adv.String(),
+					strconv.FormatInt(seed, 10),
+				}, row...)
+				if err := w.Write(record); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runCell executes one protocol instance and returns
+// [rounds, deliveries, bytes, result].
+func runCell(protocol string, cfg uba.Config, g int) ([]string, error) {
+	switch protocol {
+	case "consensus":
+		inputs := make([]float64, g)
+		for i := range inputs {
+			inputs[i] = float64(i % 2)
+		}
+		res, err := uba.Consensus(cfg, inputs)
+		if err != nil {
+			return nil, err
+		}
+		return cell(res.Rounds, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("decision=%g", res.Decision)), nil
+	case "rotor":
+		res, err := uba.Rotor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return cell(res.Rounds, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("goodRound=%d", res.GoodRound)), nil
+	case "rb":
+		res, err := uba.ReliableBroadcast(cfg, []byte("sweep"), 8)
+		if err != nil {
+			return nil, err
+		}
+		return cell(res.Rounds, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("allAccepted=%v", res.AllAccepted)), nil
+	case "trb":
+		res, err := uba.TerminatingBroadcast(cfg, []byte("sweep"), true)
+		if err != nil {
+			return nil, err
+		}
+		return cell(res.Rounds, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("delivered=%v", res.Delivered)), nil
+	case "approx":
+		inputs := make([]float64, g)
+		for i := range inputs {
+			inputs[i] = float64(i * 10)
+		}
+		res, err := uba.ApproximateAgreement(cfg, inputs)
+		if err != nil {
+			return nil, err
+		}
+		return cell(2, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("rangeRatio=%.3f", res.RangeRatio())), nil
+	case "renaming":
+		res, err := uba.Renaming(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return cell(res.Rounds, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("setSize=%d", res.SetSize)), nil
+	case "vector":
+		inputs := make([]float64, g)
+		for i := range inputs {
+			inputs[i] = float64(i)
+		}
+		res, err := uba.InteractiveConsistency(cfg, inputs)
+		if err != nil {
+			return nil, err
+		}
+		return cell(res.Rounds, res.Report.Deliveries, res.Report.Bytes,
+			fmt.Sprintf("entries=%d", len(res.Vector))), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", protocol)
+	}
+}
+
+func cell(rounds int, deliveries, bytes int64, result string) []string {
+	return []string{
+		strconv.Itoa(rounds),
+		strconv.FormatInt(deliveries, 10),
+		strconv.FormatInt(bytes, 10),
+		result,
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

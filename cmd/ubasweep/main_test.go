@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestSweepProducesCSVGrid(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-protocol", "consensus",
+		"-n", "4,7",
+		"-adversary", "silent,split",
+		"-seeds", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 sizes × 2 adversaries × 2 seeds.
+	if len(records) != 1+2*2*2 {
+		t.Fatalf("%d records, want 9", len(records))
+	}
+	if records[0][0] != "protocol" || records[0][8] != "result" {
+		t.Fatalf("header = %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 9 {
+			t.Fatalf("row width %d: %v", len(rec), rec)
+		}
+		if !strings.HasPrefix(rec[8], "decision=") {
+			t.Fatalf("result column %q", rec[8])
+		}
+		if rec[5] == "0" || rec[6] == "0" {
+			t.Fatalf("suspicious zero metrics: %v", rec)
+		}
+	}
+}
+
+func TestSweepEachProtocol(t *testing.T) {
+	t.Parallel()
+	for _, protocol := range []string{"rotor", "rb", "trb", "approx", "renaming", "vector"} {
+		protocol := protocol
+		t.Run(protocol, func(t *testing.T) {
+			t.Parallel()
+			adv := "silent"
+			if protocol == "rotor" || protocol == "renaming" {
+				adv = "ghost"
+			}
+			var buf bytes.Buffer
+			err := run([]string{
+				"-protocol", protocol, "-n", "7", "-adversary", adv, "-seeds", "1",
+			}, &buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			records, err := csv.NewReader(&buf).ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(records) != 2 {
+				t.Fatalf("%d records", len(records))
+			}
+		})
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-protocol", "bogus"},
+		{"-n", "x"},
+		{"-n", "1"},
+		{"-adversary", "bogus"},
+		{"-seeds", "0"},
+		{"-badflag"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

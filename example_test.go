@@ -1,0 +1,125 @@
+package uba_test
+
+import (
+	"fmt"
+	"log"
+
+	"uba"
+)
+
+// Consensus among nodes that know neither n nor f: seven correct nodes
+// with unanimous inputs decide in a single phase even with two silent
+// Byzantine participants.
+func ExampleConsensus() {
+	res, err := uba.Consensus(uba.Config{
+		Correct:   7,
+		Byzantine: 2,
+		Seed:      1,
+	}, []float64{4, 4, 4, 4, 4, 4, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision=%v rounds=%d\n", res.Decision, res.Rounds)
+	// Output: decision=4 rounds=7
+}
+
+// Reliable broadcast: a correct source's message is accepted by every
+// correct node in round 3 exactly (Lemma 1).
+func ExampleReliableBroadcast() {
+	res, err := uba.ReliableBroadcast(uba.Config{
+		Correct:   7,
+		Byzantine: 2,
+		Seed:      1,
+	}, []byte("hello"), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allAccepted=%v acceptRound=%d\n", res.AllAccepted, res.AcceptRounds[0])
+	// Output: allAccepted=true acceptRound=3
+}
+
+// Approximate agreement halves the spread of the correct inputs in one
+// round, despite Byzantine nodes feeding extreme values to opposite
+// halves of the network.
+func ExampleApproximateAgreement() {
+	res, err := uba.ApproximateAgreement(uba.Config{
+		Correct:   7,
+		Byzantine: 2,
+		Adversary: uba.AdversarySplit,
+		Seed:      1,
+	}, []float64{0, 10, 20, 30, 40, 50, 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within=[0,60]: %v, halved: %v\n",
+		res.OutputLo >= 0 && res.OutputHi <= 60,
+		res.OutputHi-res.OutputLo <= 30)
+	// Output: within=[0,60]: true, halved: true
+}
+
+// Renaming compacts sparse 48-bit identifiers into consistent small
+// names 1..g.
+func ExampleRenaming() {
+	res, err := uba.Renaming(uba.Config{
+		Correct:   5,
+		Byzantine: 1,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]bool, res.SetSize+1)
+	for _, name := range res.Names {
+		names[name] = true
+	}
+	fmt.Printf("slots=%d all assigned=%v\n", res.SetSize, all(names[1:]))
+	// Output: slots=5 all assigned=true
+}
+
+func all(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// The impossibility construction: the same wait-and-decide protocol that
+// agrees under a known synchronous bound disagrees under the paper's
+// asynchronous partition schedule.
+func ExampleImpossibilityDemo() {
+	sync, err := uba.ImpossibilityDemo(uba.TimingSynchronous, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	async, err := uba.ImpossibilityDemo(uba.TimingAsync, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synchronous agreement=%v asynchronous agreement=%v\n",
+		sync.Agreement, async.Agreement)
+	// Output: synchronous agreement=true asynchronous agreement=false
+}
+
+// A dynamic totally-ordered event log: members submit events, the chain
+// finalizes identically at every correct member.
+func ExampleNewOrderingCluster() {
+	cluster, err := uba.NewOrderingCluster(uba.Config{Correct: 5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	members := cluster.Members()
+	if err := cluster.SubmitEvent(members[0], 42); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.RunRounds(60); err != nil {
+		log.Fatal(err)
+	}
+	chain, err := cluster.Chain(members[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events=%d value=%g\n", len(chain), chain[0].Value)
+	// Output: events=1 value=42
+}

@@ -1,0 +1,62 @@
+// Quickstart: Byzantine consensus among nodes that know neither the
+// system size n nor the failure bound f.
+//
+// Seven correct nodes with disagreeing inputs face two Byzantine nodes
+// that split-vote opposite values to opposite halves of the network. The
+// id-only consensus algorithm (paper Algorithm 3) still drives everyone
+// to a common decision in O(f) rounds — without any node ever being told
+// how many participants exist.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"uba"
+)
+
+func main() {
+	cfg := uba.Config{
+		Correct:   7,
+		Byzantine: 2,
+		Adversary: uba.AdversarySplit,
+		Seed:      2020, // PODC 2020
+	}
+	fmt.Printf("cluster: n = %d nodes (%d correct, %d Byzantine), n > 3f: %v\n",
+		cfg.N(), cfg.Correct, cfg.Byzantine, cfg.Resilient())
+	fmt.Println("no node knows n or f; identifiers are sparse random 48-bit values")
+
+	inputs := []float64{0, 1, 0, 1, 0, 1, 1}
+	fmt.Printf("inputs: %v (disagreement), adversary: split-voting 0 vs 1\n\n", inputs)
+
+	res, err := uba.Consensus(cfg, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("decision:    %v (every correct node)\n", res.Decision)
+	fmt.Printf("rounds:      %d\n", res.Rounds)
+	fmt.Printf("traffic:     %v\n", res.Report)
+	fmt.Println()
+
+	// Unanimous inputs terminate in a single five-round phase plus two
+	// initialization rounds — independent of n.
+	uniRes, err := uba.Consensus(uba.Config{
+		Correct: 22, Byzantine: 7, Seed: 2020,
+	}, repeat(3.14, 22))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unanimous inputs at n=29: decided %v in %d rounds (early termination)\n",
+		uniRes.Decision, uniRes.Rounds)
+}
+
+func repeat(x float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Sensor fusion: approximate agreement in a wireless sensor network with
+// an unknown, changing number of faulty sensors — one of the paper's
+// motivating scenarios.
+//
+// A field of temperature sensors must converge on a common reading. Some
+// sensors are compromised and report wildly different extreme values to
+// different peers. No sensor knows how many peers exist or how many are
+// compromised; each applies the id-only reduction rule (discard the
+// lowest and highest third of what it heard, take the midpoint — paper
+// Algorithm 4), iterated until the readings agree to within 0.01°C.
+//
+//	go run ./examples/sensorfusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"uba"
+)
+
+func main() {
+	const (
+		sensors     = 13
+		compromised = 4
+		epsilon     = 0.01
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// True temperature 21.5°C, per-sensor measurement noise ±1.5°C.
+	readings := make([]float64, sensors)
+	for i := range readings {
+		readings[i] = 21.5 + (rng.Float64()-0.5)*3
+	}
+	lo, hi := bounds(readings)
+	fmt.Printf("%d sensors (+%d compromised, reporting ±10⁶ °C to opposite halves)\n",
+		sensors, compromised)
+	fmt.Printf("raw readings span [%.3f, %.3f] — spread %.3f°C\n\n", lo, hi, hi-lo)
+
+	// Range halves per round: ⌈log2(spread/ε)⌉ rounds suffice.
+	rounds := 1
+	for spread := hi - lo; spread > epsilon; spread /= 2 {
+		rounds++
+	}
+
+	res, err := uba.IteratedApproximateAgreement(uba.Config{
+		Correct:   sensors,
+		Byzantine: compromised,
+		Adversary: uba.AdversarySplit,
+		Seed:      7,
+	}, readings, rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, r := range res.RangePerRound {
+		fmt.Printf("round %2d: honest-sensor spread %.6f°C\n", i+1, r)
+	}
+	fLo, fHi := bounds(res.Estimates)
+	fmt.Printf("\nfused reading: %.4f..%.4f°C (spread %.6f ≤ ε = %v)\n",
+		fLo, fHi, fHi-fLo, epsilon)
+	fmt.Printf("all fused values stayed inside the honest range [%.3f, %.3f]\n", lo, hi)
+	fmt.Printf("traffic: %v\n", res.Report)
+}
+
+func bounds(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,3 @@
+module uba
+
+go 1.22

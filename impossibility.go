@@ -1,0 +1,170 @@
+package uba
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uba/internal/asyncnet"
+	"uba/internal/ids"
+	"uba/internal/wire"
+)
+
+// TimingModel selects the delivery model of an impossibility demo.
+type TimingModel int
+
+// Timing models for ImpossibilityDemo.
+const (
+	// TimingSynchronous delivers every message after one unit, below
+	// the protocol's stability window — the control arm where the
+	// wait-and-decide protocol always agrees.
+	TimingSynchronous TimingModel = iota + 1
+	// TimingSemiSync bounds all delays by a finite Δ unknown to the
+	// nodes and larger than their decision times (the paper's second
+	// impossibility lemma).
+	TimingSemiSync
+	// TimingAsync delays cross-partition messages indefinitely (the
+	// paper's first impossibility lemma).
+	TimingAsync
+)
+
+// String names the timing model.
+func (m TimingModel) String() string {
+	switch m {
+	case TimingSynchronous:
+		return "synchronous"
+	case TimingSemiSync:
+		return "semi-synchronous"
+	case TimingAsync:
+		return "asynchronous"
+	default:
+		return fmt.Sprintf("timing(%d)", int(m))
+	}
+}
+
+// VictimProtocol selects which natural-but-doomed unknown-participant
+// protocol the impossibility schedule is played against. The paper's
+// lemmas hold for every protocol; sweeping several concrete ones makes
+// the demonstrations less about one strawman.
+type VictimProtocol int
+
+// Victim protocols.
+const (
+	// VictimWaitMajority: stability window, then majority of heard.
+	VictimWaitMajority VictimProtocol = iota + 1
+	// VictimWaitMin: stability window, then minimum of heard.
+	VictimWaitMin
+	// VictimDeadlineMajority: fixed decision deadline, then majority.
+	VictimDeadlineMajority
+)
+
+// String names the victim protocol.
+func (p VictimProtocol) String() string {
+	switch p {
+	case VictimWaitMajority:
+		return "wait-majority"
+	case VictimWaitMin:
+		return "wait-min"
+	case VictimDeadlineMajority:
+		return "deadline-majority"
+	default:
+		return fmt.Sprintf("victim(%d)", int(p))
+	}
+}
+
+// ImpossibilityResult reports one partition-schedule execution against
+// the wait-and-decide protocol.
+type ImpossibilityResult struct {
+	// Agreement reports whether all nodes decided the same value.
+	Agreement bool
+	// Decisions holds the per-node decisions, keyed by node id.
+	Decisions map[uint64]float64
+}
+
+// ImpossibilityDemo replays the paper's "Synchrony is Necessary"
+// constructions on a natural unknown-participant protocol (broadcast,
+// wait for a stability window, decide the majority heard): nodes are
+// split into a side with input 1 and a side with input 0, and the chosen
+// timing model supplies the delays. Under TimingSynchronous the protocol
+// agrees; under TimingSemiSync and TimingAsync the partition sides decide
+// their own values — the disagreement the lemmas prove unavoidable.
+func ImpossibilityDemo(model TimingModel, nodesPerSide int, seed int64) (*ImpossibilityResult, error) {
+	return ImpossibilityDemoAgainst(model, VictimWaitMajority, nodesPerSide, seed)
+}
+
+// ImpossibilityDemoAgainst runs the partition construction against a
+// chosen victim protocol.
+func ImpossibilityDemoAgainst(model TimingModel, victim VictimProtocol, nodesPerSide int, seed int64) (*ImpossibilityResult, error) {
+	if nodesPerSide <= 0 {
+		return nil, fmt.Errorf("uba: nodesPerSide must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodeIDs := ids.Sparse(rng, 2*nodesPerSide)
+	sideA := ids.NewSet(nodeIDs[:nodesPerSide]...)
+
+	const window = asyncnet.Time(5)
+	var policy asyncnet.DelayPolicy
+	switch model {
+	case TimingSynchronous:
+		policy = asyncnet.UniformDelay{D: 1}
+	case TimingSemiSync:
+		policy = asyncnet.Partition{SideA: sideA, Internal: 1, CrossDelay: 10_000}
+	case TimingAsync:
+		policy = asyncnet.Partition{SideA: sideA, Internal: 1, CrossDelay: asyncnet.Never}
+	default:
+		return nil, fmt.Errorf("uba: unknown timing model %v", model)
+	}
+
+	net := asyncnet.New(policy)
+	waiters := make([]*asyncnet.WaitMajority, 0, len(nodeIDs))
+	for _, id := range nodeIDs {
+		input := wire.V(0)
+		if sideA.Contains(id) {
+			input = wire.V(1)
+		}
+		var w *asyncnet.WaitMajority
+		switch victim {
+		case VictimWaitMajority:
+			w = asyncnet.NewWaitMajority(id, input, window)
+		case VictimWaitMin:
+			w = asyncnet.NewWaitMin(id, input, window)
+		case VictimDeadlineMajority:
+			w = asyncnet.NewDeadlineMajority(id, input, 4*window)
+		default:
+			return nil, fmt.Errorf("uba: unknown victim protocol %v", victim)
+		}
+		waiters = append(waiters, w)
+		if err := net.Add(w); err != nil {
+			return nil, err
+		}
+	}
+	stop := net.AllDecided(nodeIDs)
+	if model == TimingSemiSync {
+		// Stop once everyone decided but before the (finite) cross
+		// traffic lands: decisions are final; later deliveries cannot
+		// retract them, so cutting the run there is sound.
+		inner := stop
+		stop = func(n *asyncnet.Network) bool { return inner(n) }
+	}
+	if err := net.Run(1_000_000, stop); err != nil {
+		return nil, fmt.Errorf("impossibility run: %w", err)
+	}
+
+	res := &ImpossibilityResult{
+		Agreement: true,
+		Decisions: make(map[uint64]float64, len(waiters)),
+	}
+	var first wire.Value
+	for i, w := range waiters {
+		v, ok := w.Decided()
+		if !ok {
+			return nil, fmt.Errorf("uba: node %v did not decide", w.ID())
+		}
+		res.Decisions[uint64(w.ID())] = v.X
+		if i == 0 {
+			first = v
+		} else if !v.Equal(first) {
+			res.Agreement = false
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package uba
+
+import (
+	"math/rand"
+	"testing"
+
+	"uba/internal/adversary"
+	"uba/internal/baseline"
+	"uba/internal/core/renaming"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// Renaming is the bridge from the id-only world back to the classical
+// one: after it, nodes hold consecutive names 1..|S| and a common |S|, so
+// the whole known-(n, f) literature becomes runnable. This test chains
+// the two worlds end to end: sparse ids → id-only renaming → phase-king
+// consensus on the new names, with f derived from |S| as ⌊(|S|−1)/3⌋.
+func TestRenamingBridgesToConsecutiveIDProtocols(t *testing.T) {
+	t.Parallel()
+	const g, f = 7, 2
+	rng := rand.New(rand.NewSource(77))
+	all := ids.Sparse(rng, g+f)
+	correctIDs := all[:g]
+	byzIDs := all[g:]
+
+	// Phase 1: id-only renaming under ghost injection.
+	dir := adversary.NewDirectory(all, byzIDs)
+	net1 := simnet.New(simnet.Config{MaxRounds: 300})
+	renamers := make(map[ids.ID]*renaming.Node, g)
+	for _, id := range correctIDs {
+		node := renaming.New(id)
+		renamers[id] = node
+		if err := net1.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ghosts := ids.Sparse(rand.New(rand.NewSource(78)), 4)
+	for _, id := range byzIDs {
+		if err := net1.AddByzantine(adversary.NewGhostCandidate(id, dir, ghosts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net1.Run(simnet.AllDone(correctIDs)); err != nil {
+		t.Fatalf("renaming: %v", err)
+	}
+
+	// Every correct node derives the same world size and fault bound
+	// from the agreed set.
+	var setSize int
+	for _, node := range renamers {
+		size := node.FinalSet().Len()
+		if setSize == 0 {
+			setSize = size
+		} else if size != setSize {
+			t.Fatalf("set sizes diverge: %d vs %d", size, setSize)
+		}
+	}
+	derivedF := (setSize - 1) / 3
+
+	// Phase 2: the classical phase-king algorithm on the new names.
+	// Each correct node runs under its compact name; names held by
+	// Byzantine or ghost identifiers simply stay silent (they count
+	// toward the derived f budget).
+	net2 := simnet.New(simnet.Config{MaxRounds: 8 * (derivedF + 2)})
+	kings := make([]*baseline.KingConsensus, 0, g)
+	kingIDs := make([]ids.ID, 0, g)
+	nameToOld := make(map[int]ids.ID, setSize)
+	for oldID, node := range renamers {
+		name, ok := node.NewName()
+		if !ok {
+			t.Fatalf("node %v unnamed", oldID)
+		}
+		nameToOld[name] = oldID
+		input := wire.V(float64(uint64(oldID) % 2)) // mixed inputs
+		king := baseline.NewKing(ids.ID(name), setSize, derivedF, input)
+		kings = append(kings, king)
+		kingIDs = append(kingIDs, ids.ID(name))
+		if err := net2.Add(king); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Names belonging to non-correct identifiers (ghosts that made it
+	// into S, or Byzantine members) are silent slots.
+	for name := 1; name <= setSize; name++ {
+		if _, taken := nameToOld[name]; taken {
+			continue
+		}
+		if err := net2.AddByzantine(adversary.NewSilent(ids.ID(name))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The bridge is only sound if the silent slots fit the derived f.
+	if silent := setSize - g; silent > derivedF {
+		t.Fatalf("derived f = %d cannot cover %d silent slots; renaming admitted too many foreign ids",
+			derivedF, silent)
+	}
+	if _, err := net2.Run(simnet.AllDone(kingIDs)); err != nil {
+		t.Fatalf("king on renamed ids: %v", err)
+	}
+	var first wire.Value
+	for i, king := range kings {
+		out, ok := king.Output()
+		if !ok {
+			t.Fatalf("king %v undecided", king.ID())
+		}
+		if i == 0 {
+			first = out
+		} else if !out.Equal(first) {
+			t.Fatalf("king disagreement on renamed ids: %v vs %v", first, out)
+		}
+	}
+}
+
+// The full bring-up pipeline through the facade: renaming, rotor and
+// consensus on one configuration — the cluster example as a regression
+// test with exact assertions.
+func TestBringUpPipeline(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Correct: 9, Byzantine: 2, Adversary: AdversaryGhost, Seed: 4242}
+
+	names, err := Renaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names.Names) != 9 {
+		t.Fatalf("%d names", len(names.Names))
+	}
+
+	rotorRes, err := Rotor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotorRes.GoodRound == 0 {
+		t.Fatal("no good round")
+	}
+
+	votes := []float64{1, 1, 2, 1, 2, 2, 1, 2, 1}
+	commit, err := Consensus(Config{
+		Correct: 9, Byzantine: 2, Adversary: AdversarySplit, Seed: 4242,
+	}, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit.Decision != 1 && commit.Decision != 2 {
+		t.Fatalf("committed foreign epoch %v", commit.Decision)
+	}
+}

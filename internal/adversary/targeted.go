@@ -1,0 +1,135 @@
+package adversary
+
+import (
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// Impersonator attacks the rotor-coordinator's opinion channel: every
+// round it broadcasts opinion(x) messages for a sweep of instances,
+// pretending to be the current coordinator. The sender id is stamped by
+// the network (unforgeable), so correct nodes only accept an opinion from
+// the node they themselves selected — this adversary checks that the
+// selection filter actually does that work.
+type Impersonator struct {
+	id        ids.ID
+	opinion   wire.Value
+	instances []uint64
+}
+
+var _ simnet.Process = (*Impersonator)(nil)
+
+// NewImpersonator returns an opinion-spamming adversary for the given
+// instance tags (use []uint64{0} against the plain protocols).
+func NewImpersonator(id ids.ID, opinion wire.Value, instances []uint64) *Impersonator {
+	return &Impersonator{
+		id:        id,
+		opinion:   opinion,
+		instances: append([]uint64(nil), instances...),
+	}
+}
+
+// ID implements simnet.Process.
+func (a *Impersonator) ID() ids.ID { return a.id }
+
+// Done implements simnet.Process.
+func (a *Impersonator) Done() bool { return false }
+
+// Step implements simnet.Process.
+func (a *Impersonator) Step(env *simnet.RoundEnv) {
+	if env.Round == 1 {
+		// Join the census so the spam is not filtered as a stranger.
+		env.Broadcast(wire.Init{})
+		return
+	}
+	for _, inst := range a.instances {
+		env.Broadcast(wire.Opinion{Instance: inst, X: a.opinion})
+	}
+}
+
+// TerminateSpoofer attacks renaming's termination handshake: it floods
+// terminate(k) messages for many rounds k, trying to make correct nodes
+// finish before their identifier sets have stabilized. The n_v/3 relay
+// threshold must hold the line (a quorum of terminate(k) requires correct
+// senders).
+type TerminateSpoofer struct {
+	id ids.ID
+}
+
+var _ simnet.Process = (*TerminateSpoofer)(nil)
+
+// NewTerminateSpoofer returns a terminate(k)-flooding adversary.
+func NewTerminateSpoofer(id ids.ID) *TerminateSpoofer {
+	return &TerminateSpoofer{id: id}
+}
+
+// ID implements simnet.Process.
+func (a *TerminateSpoofer) ID() ids.ID { return a.id }
+
+// Done implements simnet.Process.
+func (a *TerminateSpoofer) Done() bool { return false }
+
+// Step implements simnet.Process.
+func (a *TerminateSpoofer) Step(env *simnet.RoundEnv) {
+	switch env.Round {
+	case 1:
+		env.Broadcast(wire.Init{})
+	case 2:
+		env.Broadcast(wire.IDEcho{Candidate: a.id})
+	default:
+		// Claim every plausible round was silent.
+		for k := 1; k <= env.Round; k++ {
+			env.Broadcast(wire.Terminate{Round: uint64(k)})
+		}
+	}
+}
+
+// MembershipChurner attacks the dynamic-network membership protocol: it
+// alternates present/absent announcements (to everyone or to halves) so
+// that correct nodes' membership views flap, and sends acks carrying
+// wrong round numbers to confuse joiners. The majority-ack rule and the
+// per-execution membership snapshots must absorb all of it.
+type MembershipChurner struct {
+	id  ids.ID
+	dir *Directory
+}
+
+var _ simnet.Process = (*MembershipChurner)(nil)
+
+// NewMembershipChurner returns a membership-flapping adversary.
+func NewMembershipChurner(id ids.ID, dir *Directory) *MembershipChurner {
+	return &MembershipChurner{id: id, dir: dir}
+}
+
+// ID implements simnet.Process.
+func (a *MembershipChurner) ID() ids.ID { return a.id }
+
+// Done implements simnet.Process.
+func (a *MembershipChurner) Done() bool { return false }
+
+// Step implements simnet.Process.
+func (a *MembershipChurner) Step(env *simnet.RoundEnv) {
+	halfA, halfB := a.dir.Halves()
+	switch env.Round % 4 {
+	case 1:
+		// Present to half the nodes only: views diverge on whether
+		// this adversary is a member.
+		for _, to := range halfA {
+			env.Send(to, wire.Present{})
+		}
+	case 2:
+		// Bogus acks to anyone who announced presence last round.
+		for _, m := range env.Inbox {
+			if _, ok := m.Payload.(wire.Present); ok {
+				env.Send(m.From, wire.Ack{Round: uint64(env.Round * 1000)})
+			}
+		}
+	case 3:
+		for _, to := range halfB {
+			env.Send(to, wire.Absent{})
+		}
+	default:
+		env.Broadcast(wire.Present{})
+	}
+}

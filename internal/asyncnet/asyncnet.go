@@ -1,0 +1,275 @@
+// Package asyncnet is a discrete-event message-passing simulator for
+// asynchronous and semi-synchronous executions, built for the paper's
+// impossibility results (§"Synchrony is Necessary").
+//
+// The paper proves that without knowing n and f, consensus is impossible
+// — even with probabilistic termination — once the synchronous-round
+// structure is dropped: in an asynchronous system the adversary delays
+// cross-partition messages indefinitely, and in a semi-synchronous system
+// (delays bounded by an unknown Δ) it sets Δ larger than the decision
+// times of the partitioned sub-executions. Both constructions are
+// *schedules*, so the simulator's delay policy is exactly where the
+// adversary lives: a DelayPolicy assigns each message a delivery delay,
+// and the two lemmas correspond to the Partition policy with infinite or
+// merely-huge cross delays.
+//
+// Processes are event-driven (Start, OnMessage, OnTimer) rather than
+// round-driven, because without synchrony there are no rounds to step.
+package asyncnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"uba/internal/ids"
+	"uba/internal/wire"
+)
+
+// Time is simulation time in abstract units.
+type Time int64
+
+// Never is a delay meaning "drop the message" (delayed past every
+// decision, the asynchronous adversary's move).
+const Never Time = -1
+
+// DelayPolicy decides each message's network delay. Returning Never drops
+// the message (equivalently: delays it beyond the execution horizon).
+type DelayPolicy interface {
+	// Delay returns the delivery delay for a message from -> to sent at
+	// the given time.
+	Delay(from, to ids.ID, sentAt Time) Time
+}
+
+// UniformDelay delivers every message after a fixed delay — the
+// synchronous special case used as the control arm of the impossibility
+// experiments.
+type UniformDelay struct {
+	// D is the fixed delay (must be ≥ 1).
+	D Time
+}
+
+// Delay implements DelayPolicy.
+func (u UniformDelay) Delay(_, _ ids.ID, _ Time) Time { return u.D }
+
+// Partition is the adversarial schedule of the impossibility proofs:
+// messages within a side are fast, messages across sides are delayed by
+// CrossDelay (use Never for the asynchronous construction, or any value
+// exceeding the sub-executions' decision times for the semi-synchronous
+// one).
+type Partition struct {
+	// SideA holds the ids of one side; everything else is side B.
+	SideA *ids.Set
+	// Internal is the within-side delay (≥ 1).
+	Internal Time
+	// CrossDelay is the across-sides delay; Never drops.
+	CrossDelay Time
+}
+
+// Delay implements DelayPolicy.
+func (p Partition) Delay(from, to ids.ID, _ Time) Time {
+	if p.SideA.Contains(from) == p.SideA.Contains(to) {
+		return p.Internal
+	}
+	return p.CrossDelay
+}
+
+// Env is the interface a process uses to act on the network during an
+// event callback.
+type Env struct {
+	// Now is the current simulation time.
+	Now Time
+
+	self ids.ID
+	net  *Network
+}
+
+// Broadcast sends the payload to every process (including the sender).
+func (e *Env) Broadcast(p wire.Payload) {
+	for _, id := range e.net.order {
+		e.net.enqueueMessage(e.self, id, p, e.Now)
+	}
+}
+
+// Send sends the payload to one process.
+func (e *Env) Send(to ids.ID, p wire.Payload) {
+	e.net.enqueueMessage(e.self, to, p, e.Now)
+}
+
+// SetTimer schedules an OnTimer(tag) callback after delay time units.
+func (e *Env) SetTimer(delay Time, tag int) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.net.enqueueTimer(e.self, tag, e.Now+delay)
+}
+
+// Process is an event-driven node.
+type Process interface {
+	// ID returns the node's identifier.
+	ID() ids.ID
+	// Start is invoked once at time 0.
+	Start(env *Env)
+	// OnMessage is invoked per delivered message.
+	OnMessage(from ids.ID, payload wire.Payload, env *Env)
+	// OnTimer is invoked when a timer set via Env.SetTimer fires.
+	OnTimer(tag int, env *Env)
+	// Decided reports the process's decision, if any.
+	Decided() (wire.Value, bool)
+}
+
+// event is a queue entry: a message delivery or a timer firing.
+type event struct {
+	at   Time
+	seq  int64 // FIFO tie-break for determinism
+	to   ids.ID
+	from ids.ID // messages only
+	// payload is nil for timers.
+	payload wire.Payload
+	timer   int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	out := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return out
+}
+
+// Errors returned by Run.
+var (
+	// ErrHorizon reports that the event horizon was reached before the
+	// stop predicate was satisfied.
+	ErrHorizon = errors.New("asyncnet: event horizon reached")
+)
+
+// Network is the discrete-event simulator.
+type Network struct {
+	procs map[ids.ID]Process
+	order []ids.ID
+	delay DelayPolicy
+	queue eventQueue
+	seq   int64
+	now   Time
+}
+
+// New returns an event network governed by the given delay policy.
+func New(delay DelayPolicy) *Network {
+	return &Network{
+		procs: make(map[ids.ID]Process),
+		delay: delay,
+	}
+}
+
+// Add registers a process. All processes must be added before Run.
+func (n *Network) Add(p Process) error {
+	id := p.ID()
+	if id == ids.None {
+		return fmt.Errorf("asyncnet: process id must be nonzero")
+	}
+	if _, dup := n.procs[id]; dup {
+		return fmt.Errorf("asyncnet: duplicate process id %v", id)
+	}
+	n.procs[id] = p
+	n.order = append(n.order, id)
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	return nil
+}
+
+func (n *Network) enqueueMessage(from, to ids.ID, p wire.Payload, sentAt Time) {
+	d := n.delay.Delay(from, to, sentAt)
+	if d == Never {
+		return
+	}
+	if d < 1 {
+		d = 1
+	}
+	n.seq++
+	heap.Push(&n.queue, &event{
+		at: sentAt + d, seq: n.seq, to: to, from: from, payload: p,
+	})
+}
+
+func (n *Network) enqueueTimer(owner ids.ID, tag int, at Time) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: at, seq: n.seq, to: owner, timer: tag})
+}
+
+// Now returns the current simulation time.
+func (n *Network) Now() Time { return n.now }
+
+// Run starts every process and then drains the event queue until stop
+// returns true, the queue empties, or maxEvents have been processed.
+func (n *Network) Run(maxEvents int, stop func(*Network) bool) error {
+	for _, id := range n.order {
+		env := &Env{Now: 0, self: id, net: n}
+		n.procs[id].Start(env)
+	}
+	processed := 0
+	for n.queue.Len() > 0 {
+		if stop != nil && stop(n) {
+			return nil
+		}
+		if processed >= maxEvents {
+			return fmt.Errorf("%w after %d events", ErrHorizon, processed)
+		}
+		ev := heap.Pop(&n.queue).(*event)
+		n.now = ev.at
+		proc, ok := n.procs[ev.to]
+		if !ok {
+			continue
+		}
+		env := &Env{Now: n.now, self: ev.to, net: n}
+		if ev.payload != nil {
+			proc.OnMessage(ev.from, ev.payload, env)
+		} else {
+			proc.OnTimer(ev.timer, env)
+		}
+		processed++
+	}
+	return nil
+}
+
+// AllDecided returns a stop predicate satisfied when every given process
+// has decided.
+func (n *Network) AllDecided(idsToCheck []ids.ID) func(*Network) bool {
+	return func(net *Network) bool {
+		for _, id := range idsToCheck {
+			p, ok := net.procs[id]
+			if !ok {
+				continue
+			}
+			if _, decided := p.Decided(); !decided {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Decisions collects the decisions of the given processes.
+func (n *Network) Decisions(idsToCheck []ids.ID) map[ids.ID]wire.Value {
+	out := make(map[ids.ID]wire.Value)
+	for _, id := range idsToCheck {
+		if p, ok := n.procs[id]; ok {
+			if v, decided := p.Decided(); decided {
+				out[id] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package asyncnet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"uba/internal/ids"
+	"uba/internal/wire"
+)
+
+func buildWaiters(t *testing.T, net *Network, nodeIDs []ids.ID, inputs []float64, window Time) []*WaitMajority {
+	t.Helper()
+	out := make([]*WaitMajority, 0, len(nodeIDs))
+	for i, id := range nodeIDs {
+		w := NewWaitMajority(id, wire.V(inputs[i]), window)
+		out = append(out, w)
+		if err := net.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// Control arm: with a uniform delay shorter than the stability window,
+// every node hears every value and all decide the same majority.
+func TestWaitMajorityAgreesUnderUniformDelay(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	nodeIDs := ids.Sparse(rng, 8)
+	net := New(UniformDelay{D: 1})
+	inputs := []float64{0, 0, 0, 1, 1, 0, 1, 0} // majority 0
+	waiters := buildWaiters(t, net, nodeIDs, inputs, 5)
+	if err := net.Run(10000, net.AllDecided(nodeIDs)); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range waiters {
+		v, ok := w.Decided()
+		if !ok {
+			t.Fatalf("node %v did not decide", w.ID())
+		}
+		if !v.Equal(wire.V(0)) {
+			t.Fatalf("node %v decided %v, want majority 0", w.ID(), v)
+		}
+		if w.Heard() != len(nodeIDs) {
+			t.Fatalf("node %v heard %d of %d", w.ID(), w.Heard(), len(nodeIDs))
+		}
+	}
+}
+
+// Asynchronous construction (first impossibility lemma): cross-partition
+// messages delayed indefinitely; side A (all inputs 1) and side B (all
+// inputs 0) each decide their own value — disagreement.
+func TestAsyncPartitionForcesDisagreement(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(2))
+	nodeIDs := ids.Sparse(rng, 10)
+	sideA := ids.NewSet(nodeIDs[:5]...)
+	net := New(Partition{SideA: sideA, Internal: 1, CrossDelay: Never})
+	inputs := make([]float64, 10)
+	for i := range inputs {
+		if sideA.Contains(nodeIDs[i]) {
+			inputs[i] = 1
+		}
+	}
+	waiters := buildWaiters(t, net, nodeIDs, inputs, 5)
+	if err := net.Run(10000, net.AllDecided(nodeIDs)); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range waiters {
+		v, ok := w.Decided()
+		if !ok {
+			t.Fatalf("node %v did not decide", w.ID())
+		}
+		want := wire.V(0)
+		if sideA.Contains(w.ID()) {
+			want = wire.V(1)
+		}
+		if !v.Equal(want) {
+			t.Fatalf("node %v decided %v, want its side's value %v", w.ID(), v, want)
+		}
+	}
+}
+
+// Semi-synchronous construction (second impossibility lemma): delays ARE
+// bounded — by a Δ the nodes do not know — and every message is
+// eventually delivered; the sides still decide before hearing across.
+func TestSemiSyncPartitionForcesDisagreement(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	nodeIDs := ids.Sparse(rng, 8)
+	sideA := ids.NewSet(nodeIDs[:4]...)
+	const window = 5
+	// Decision happens by ~window+2; Δ_s = 1000 dwarfs it but is finite.
+	net := New(Partition{SideA: sideA, Internal: 1, CrossDelay: 1000})
+	inputs := make([]float64, 8)
+	for i := range inputs {
+		if sideA.Contains(nodeIDs[i]) {
+			inputs[i] = 1
+		}
+	}
+	waiters := buildWaiters(t, net, nodeIDs, inputs, window)
+	stopAt := func(n *Network) bool { return n.AllDecided(nodeIDs)(n) && n.Now() < 1000 }
+	if err := net.Run(10000, stopAt); err != nil {
+		t.Fatal(err)
+	}
+	disagree := false
+	var first wire.Value
+	for i, w := range waiters {
+		v, ok := w.Decided()
+		if !ok {
+			t.Fatalf("node %v did not decide", w.ID())
+		}
+		if i == 0 {
+			first = v
+		} else if !v.Equal(first) {
+			disagree = true
+		}
+	}
+	if !disagree {
+		t.Fatal("semi-synchronous partition did not produce disagreement")
+	}
+}
+
+// The synchronous contrast completes the argument: the same window with a
+// delay bound KNOWN to be smaller (uniform 1 < window) always agrees —
+// synchrony is what makes unknown-participant agreement possible.
+func TestKnownBoundRestoresAgreement(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nodeIDs := ids.Sparse(rng, 9)
+		net := New(UniformDelay{D: 2})
+		inputs := make([]float64, 9)
+		for i := range inputs {
+			inputs[i] = float64(rng.Intn(2))
+		}
+		waiters := buildWaiters(t, net, nodeIDs, inputs, 6)
+		if err := net.Run(10000, net.AllDecided(nodeIDs)); err != nil {
+			t.Fatal(err)
+		}
+		var first wire.Value
+		for i, w := range waiters {
+			v, ok := w.Decided()
+			if !ok {
+				t.Fatalf("node %v did not decide", w.ID())
+			}
+			if i == 0 {
+				first = v
+			} else if !v.Equal(first) {
+				t.Fatalf("seed %d: disagreement under a known bound", seed)
+			}
+		}
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	t.Parallel()
+	net := New(UniformDelay{D: 1})
+	// A process that ping-pongs with itself forever.
+	p := &pinger{id: 5}
+	if err := net.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	err := net.Run(50, nil)
+	if !errors.Is(err, ErrHorizon) {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+}
+
+type pinger struct{ id ids.ID }
+
+func (p *pinger) ID() ids.ID                  { return p.id }
+func (p *pinger) Decided() (wire.Value, bool) { return wire.Value{}, false }
+func (p *pinger) Start(env *Env)              { env.Send(p.id, wire.Present{}) }
+func (p *pinger) OnTimer(tag int, env *Env)   {}
+func (p *pinger) OnMessage(_ ids.ID, _ wire.Payload, env *Env) {
+	env.Send(p.id, wire.Present{})
+}
+
+func TestDuplicateAndZeroIDRejected(t *testing.T) {
+	t.Parallel()
+	net := New(UniformDelay{D: 1})
+	if err := net.Add(&pinger{id: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(&pinger{id: 1}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := net.Add(&pinger{id: 0}); err == nil {
+		t.Fatal("zero id accepted")
+	}
+}
+
+// Determinism: identical configurations yield identical decisions and
+// decision sets.
+func TestEventOrderIsDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() map[ids.ID]wire.Value {
+		rng := rand.New(rand.NewSource(7))
+		nodeIDs := ids.Sparse(rng, 6)
+		net := New(Partition{SideA: ids.NewSet(nodeIDs[:3]...), Internal: 1, CrossDelay: 40})
+		inputs := []float64{1, 1, 1, 0, 0, 0}
+		buildWaiters(t, net, nodeIDs, inputs, 4)
+		if err := net.Run(10000, net.AllDecided(nodeIDs)); err != nil {
+			t.Fatal(err)
+		}
+		return net.Decisions(nodeIDs)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic decision count")
+	}
+	for id, v := range a {
+		if !b[id].Equal(v) {
+			t.Fatalf("node %v decided %v then %v", id, v, b[id])
+		}
+	}
+}
+
+// The alternative victim protocols behave like the majority flavor: they
+// agree under a known bound and split under the partition schedules.
+func TestAlternativeVictimProtocols(t *testing.T) {
+	t.Parallel()
+	type mk func(id ids.ID, input wire.Value) *WaitMajority
+	victims := map[string]mk{
+		"wait-min": func(id ids.ID, input wire.Value) *WaitMajority {
+			return NewWaitMin(id, input, 5)
+		},
+		"deadline-majority": func(id ids.ID, input wire.Value) *WaitMajority {
+			return NewDeadlineMajority(id, input, 20)
+		},
+	}
+	for name, mkVictim := range victims {
+		name, mkVictim := name, mkVictim
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// Synchronous control: all agree.
+			rng := rand.New(rand.NewSource(4))
+			nodeIDs := ids.Sparse(rng, 6)
+			net := New(UniformDelay{D: 1})
+			ws := make([]*WaitMajority, 0, 6)
+			for i, id := range nodeIDs {
+				w := mkVictim(id, wire.V(float64(i%2)))
+				ws = append(ws, w)
+				if err := net.Add(w); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := net.Run(100000, net.AllDecided(nodeIDs)); err != nil {
+				t.Fatal(err)
+			}
+			var first wire.Value
+			for i, w := range ws {
+				v, ok := w.Decided()
+				if !ok {
+					t.Fatalf("node %v undecided", w.ID())
+				}
+				if i == 0 {
+					first = v
+				} else if !v.Equal(first) {
+					t.Fatalf("%s disagreed under uniform delay", name)
+				}
+			}
+
+			// Partition: the sides split.
+			rng2 := rand.New(rand.NewSource(5))
+			ids2 := ids.Sparse(rng2, 6)
+			sideA := ids.NewSet(ids2[:3]...)
+			net2 := New(Partition{SideA: sideA, Internal: 1, CrossDelay: Never})
+			ws2 := make([]*WaitMajority, 0, 6)
+			for _, id := range ids2 {
+				input := wire.V(0)
+				if sideA.Contains(id) {
+					input = wire.V(1)
+				}
+				w := mkVictim(id, input)
+				ws2 = append(ws2, w)
+				if err := net2.Add(w); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := net2.Run(100000, net2.AllDecided(ids2)); err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range ws2 {
+				v, ok := w.Decided()
+				if !ok {
+					t.Fatalf("node %v undecided under partition", w.ID())
+				}
+				want := wire.V(0)
+				if sideA.Contains(w.ID()) {
+					want = wire.V(1)
+				}
+				if !v.Equal(want) {
+					t.Fatalf("%s: node %v decided %v, want its side's %v", name, w.ID(), v, want)
+				}
+			}
+		})
+	}
+}

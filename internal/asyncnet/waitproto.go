@@ -1,0 +1,154 @@
+package asyncnet
+
+import (
+	"uba/internal/ids"
+	"uba/internal/wire"
+)
+
+// WaitMajority is the natural attempt at unknown-participant consensus
+// without synchrony, used by the impossibility experiments as the concrete
+// victim of the paper's partition argument: broadcast your input, keep
+// collecting values, and decide the majority of everything heard once no
+// new participant has appeared for a stability window W.
+//
+// The protocol cannot know how long to wait, because it knows neither n
+// nor f: any finite W admits the paper's schedules. Under a uniform delay
+// smaller than W it reaches agreement (every node sees every value before
+// its window closes); under the partition schedules each side stabilizes
+// on its own values and the two sides decide differently — exactly the
+// non-zero-probability disagreement of the two lemmas.
+type WaitMajority struct {
+	id     ids.ID
+	input  wire.Value
+	window Time
+	// deadline, when true, decides at a fixed absolute time instead of
+	// waiting for a stability window — another natural (and equally
+	// doomed) guess at "long enough".
+	deadline bool
+	// rule folds the collected values into a decision.
+	rule func(values map[ids.ID]wire.Value) wire.Value
+
+	values  map[ids.ID]wire.Value
+	epoch   int // timer generation; only the latest may fire a decision
+	decided bool
+	output  wire.Value
+}
+
+var _ Process = (*WaitMajority)(nil)
+
+// NewWaitMajority returns a participant with the given input and
+// stability window, deciding the majority value heard.
+func NewWaitMajority(id ids.ID, input wire.Value, window Time) *WaitMajority {
+	return &WaitMajority{
+		id:     id,
+		input:  input,
+		window: window,
+		rule:   majorityRule,
+		values: make(map[ids.ID]wire.Value),
+	}
+}
+
+// NewWaitMin is a second protocol for the impossibility sweep (the lemmas
+// quantify over every protocol): same stability window, but decide the
+// smallest value heard — a "leader by minimum value" flavor.
+func NewWaitMin(id ids.ID, input wire.Value, window Time) *WaitMajority {
+	return &WaitMajority{
+		id:     id,
+		input:  input,
+		window: window,
+		rule:   minRule,
+		values: make(map[ids.ID]wire.Value),
+	}
+}
+
+// NewDeadlineMajority is a third protocol: decide the majority of
+// everything heard by an absolute deadline, with no stability heuristic
+// at all ("surely D time units is enough for everyone to speak up").
+func NewDeadlineMajority(id ids.ID, input wire.Value, deadline Time) *WaitMajority {
+	return &WaitMajority{
+		id:       id,
+		input:    input,
+		window:   deadline,
+		deadline: true,
+		rule:     majorityRule,
+		values:   make(map[ids.ID]wire.Value),
+	}
+}
+
+func majorityRule(values map[ids.ID]wire.Value) wire.Value {
+	counts := make(map[wire.ValueKey]int)
+	vals := make(map[wire.ValueKey]wire.Value)
+	for _, v := range values {
+		counts[v.Key()]++
+		vals[v.Key()] = v
+	}
+	var best wire.Value
+	bestCount := -1
+	for key, count := range counts {
+		v := vals[key]
+		switch {
+		case count > bestCount:
+			best, bestCount = v, count
+		case count == bestCount && v.Less(best):
+			best = v
+		}
+	}
+	return best
+}
+
+func minRule(values map[ids.ID]wire.Value) wire.Value {
+	first := true
+	var min wire.Value
+	for _, v := range values {
+		if first || v.Less(min) {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+// ID implements Process.
+func (w *WaitMajority) ID() ids.ID { return w.id }
+
+// Decided implements Process.
+func (w *WaitMajority) Decided() (wire.Value, bool) { return w.output, w.decided }
+
+// Start implements Process.
+func (w *WaitMajority) Start(env *Env) {
+	w.values[w.id] = w.input
+	env.Broadcast(wire.Input{X: w.input})
+	w.epoch++
+	env.SetTimer(w.window, w.epoch)
+}
+
+// OnMessage implements Process.
+func (w *WaitMajority) OnMessage(from ids.ID, payload wire.Payload, env *Env) {
+	in, ok := payload.(wire.Input)
+	if !ok || w.decided {
+		return
+	}
+	if _, known := w.values[from]; known {
+		return
+	}
+	w.values[from] = in.X
+	if w.deadline {
+		// Fixed-deadline flavor: the timer set at Start is absolute.
+		return
+	}
+	// A new participant appeared: restart the stability window.
+	w.epoch++
+	env.SetTimer(w.window, w.epoch)
+}
+
+// OnTimer implements Process.
+func (w *WaitMajority) OnTimer(tag int, env *Env) {
+	if w.decided || tag != w.epoch {
+		return
+	}
+	w.decided = true
+	w.output = w.rule(w.values)
+}
+
+// Heard returns how many distinct participants this node has heard from.
+func (w *WaitMajority) Heard() int { return len(w.values) }

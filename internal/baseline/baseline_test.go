@@ -1,0 +1,363 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// Baselines assume consecutive ids 1..n; build them that way.
+
+func TestSTBroadcastCorrectSource(t *testing.T) {
+	t.Parallel()
+	g, f := 5, 2
+	n := g + f
+	net := simnet.New(simnet.Config{MaxRounds: 50})
+	body := []byte("st")
+	nodes := make([]*STBroadcast, 0, g)
+	for i := 1; i <= g; i++ {
+		var node *STBroadcast
+		if i == 1 {
+			node = NewSTSource(ids.ID(i), f, body)
+		} else {
+			node = NewSTRelay(ids.ID(i), f)
+		}
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := g + 1; i <= n; i++ {
+		if err := net.AddByzantine(adversary.NewSilent(ids.ID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range nodes {
+		round, ok := node.HasAccepted(1, body)
+		if !ok {
+			t.Fatalf("node %v did not accept", node.ID())
+		}
+		if round > 3 {
+			t.Fatalf("node %v accepted in round %d, want ≤ 3", node.ID(), round)
+		}
+	}
+}
+
+func TestSTBroadcastForgeryRejected(t *testing.T) {
+	t.Parallel()
+	g, f := 5, 2
+	net := simnet.New(simnet.Config{MaxRounds: 50})
+	nodes := make([]*STBroadcast, 0, g)
+	for i := 1; i <= g; i++ {
+		node := NewSTRelay(ids.ID(i), f)
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := g + 1; i <= g+f; i++ {
+		if err := net.AddByzantine(adversary.NewEchoAmplifier(ids.ID(i), 1, []byte("forged"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range nodes {
+		if _, ok := node.HasAccepted(1, []byte("forged")); ok {
+			t.Fatalf("node %v accepted forged echo quorum (f echoes < f+1)", node.ID())
+		}
+	}
+}
+
+func runKing(t *testing.T, n, f int, inputs []float64, byz func(i int) simnet.Process) []*KingConsensus {
+	t.Helper()
+	net := simnet.New(simnet.Config{MaxRounds: 8 * (f + 2)})
+	nodes := make([]*KingConsensus, 0, len(inputs))
+	correctIDs := make([]ids.ID, 0, len(inputs))
+	for i := 1; i <= len(inputs); i++ {
+		node := NewKing(ids.ID(i), n, f, wire.V(inputs[i-1]))
+		nodes = append(nodes, node)
+		correctIDs = append(correctIDs, ids.ID(i))
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := len(inputs) + 1; i <= n; i++ {
+		var p simnet.Process = adversary.NewSilent(ids.ID(i))
+		if byz != nil {
+			p = byz(i)
+		}
+		if err := net.AddByzantine(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+		t.Fatalf("king did not terminate: %v", err)
+	}
+	return nodes
+}
+
+// Correct nodes get the low ids here, so every king is correct; the
+// baseline must reach agreement and validity.
+func TestKingAgreementAndValidity(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name   string
+		inputs []float64
+		want   *float64
+	}{
+		{"unanimous", []float64{4, 4, 4, 4, 4}, ptr(4.0)},
+		{"split", []float64{0, 1, 0, 1, 0}, nil},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			nodes := runKing(t, 7, 2, tt.inputs, nil)
+			first, ok := nodes[0].Output()
+			if !ok {
+				t.Fatal("no decision")
+			}
+			for _, node := range nodes[1:] {
+				out, ok := node.Output()
+				if !ok || !out.Equal(first) {
+					t.Fatalf("disagreement: %v vs %v", out, first)
+				}
+			}
+			if tt.want != nil && !first.Equal(wire.V(*tt.want)) {
+				t.Fatalf("decided %v, want %v", first, *tt.want)
+			}
+		})
+	}
+}
+
+func ptr(x float64) *float64 { return &x }
+
+// King runs exactly 4(f+1) rounds — no early termination even on
+// unanimous inputs (that is the id-only algorithm's edge in E8).
+func TestKingAlwaysRunsAllPhases(t *testing.T) {
+	t.Parallel()
+	for _, f := range []int{1, 2, 4} {
+		f := f
+		t.Run(fmt.Sprintf("f=%d", f), func(t *testing.T) {
+			t.Parallel()
+			n := 3*f + 1
+			g := n - f
+			inputs := make([]float64, g)
+			for i := range inputs {
+				inputs[i] = 1
+			}
+			net := simnet.New(simnet.Config{MaxRounds: 8 * (f + 2)})
+			correctIDs := make([]ids.ID, 0, g)
+			for i := 1; i <= g; i++ {
+				if err := net.Add(NewKing(ids.ID(i), n, f, wire.V(1))); err != nil {
+					t.Fatal(err)
+				}
+				correctIDs = append(correctIDs, ids.ID(i))
+			}
+			for i := g + 1; i <= n; i++ {
+				if err := net.AddByzantine(adversary.NewSilent(ids.ID(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rounds, err := net.Run(simnet.AllDone(correctIDs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 4 * (f + 1); rounds != want {
+				t.Fatalf("king ran %d rounds, want exactly %d", rounds, want)
+			}
+		})
+	}
+}
+
+func TestApproxBaselineWithinRange(t *testing.T) {
+	t.Parallel()
+	g, f := 7, 2
+	net := simnet.New(simnet.Config{MaxRounds: 10})
+	inputs := []float64{0, 10, 20, 30, 40, 50, 60}
+	nodes := make([]*ApproxAgreement, 0, g)
+	correctIDs := make([]ids.ID, 0, g)
+	for i := 1; i <= g; i++ {
+		node := NewApprox(ids.ID(i), f, inputs[i-1])
+		nodes = append(nodes, node)
+		correctIDs = append(correctIDs, ids.ID(i))
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := make([]ids.ID, 0, g+f)
+	for i := 1; i <= g+f; i++ {
+		all = append(all, ids.ID(i))
+	}
+	dir := adversary.NewDirectory(all, all[g:])
+	for i := g + 1; i <= g+f; i++ {
+		if err := net.AddByzantine(adversary.NewInputSplitter(ids.ID(i), dir, -1e9, 1e9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 1e18, -1e18
+	for _, node := range nodes {
+		x, ok := node.Output()
+		if !ok {
+			t.Fatalf("node %v did not finish", node.ID())
+		}
+		if x < 0 || x > 60 {
+			t.Fatalf("output %v escaped input range", x)
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi-lo > 30 {
+		t.Fatalf("output range %v did not halve from 60", hi-lo)
+	}
+}
+
+func TestTrivialRotorGuaranteesCorrectCoordinator(t *testing.T) {
+	t.Parallel()
+	g, f := 5, 2
+	n := g + f
+	net := simnet.New(simnet.Config{MaxRounds: 20})
+	// Put the Byzantine nodes at ids 1..f so the first f coordinators
+	// are faulty; the (f+1)-th must be correct.
+	nodes := make([]*Rotor, 0, g)
+	correctIDs := make([]ids.ID, 0, g)
+	for i := f + 1; i <= n; i++ {
+		node := NewRotor(ids.ID(i), f, wire.V(float64(i)))
+		nodes = append(nodes, node)
+		correctIDs = append(correctIDs, ids.ID(i))
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= f; i++ {
+		if err := net.AddByzantine(adversary.NewSilent(ids.ID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds, err := net.Run(simnet.AllDone(correctIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != f+2 {
+		t.Fatalf("trivial rotor ran %d rounds, want f+2 = %d", rounds, f+2)
+	}
+	// Coordinator f+1 (the first correct id) must have been accepted by
+	// every correct node with its own opinion.
+	coord := ids.ID(f + 1)
+	for _, node := range nodes {
+		x, ok := node.AcceptedFrom(coord)
+		if !ok {
+			t.Fatalf("node %v never accepted coordinator %v", node.ID(), coord)
+		}
+		if !x.Equal(wire.V(float64(f + 1))) {
+			t.Fatalf("accepted %v from coordinator, want its opinion", x)
+		}
+	}
+}
+
+// Byzantine kings: with the Byzantine slots at the LOW ids, the first f
+// kings are faulty (silent); agreement must still hold because phase f+1
+// has a correct king.
+func TestKingSurvivesByzantineKings(t *testing.T) {
+	t.Parallel()
+	g, f := 5, 2
+	n := g + f
+	net := simnet.New(simnet.Config{MaxRounds: 8 * (f + 2)})
+	nodes := make([]*KingConsensus, 0, g)
+	correctIDs := make([]ids.ID, 0, g)
+	// Correct nodes take ids f+1..n; byzantine (silent) take 1..f.
+	for i := f + 1; i <= n; i++ {
+		node := NewKing(ids.ID(i), n, f, wire.V(float64(i%2)))
+		nodes = append(nodes, node)
+		correctIDs = append(correctIDs, ids.ID(i))
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= f; i++ {
+		if err := net.AddByzantine(adversary.NewSilent(ids.ID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+		t.Fatal(err)
+	}
+	var first wire.Value
+	for i, node := range nodes {
+		out, ok := node.Output()
+		if !ok {
+			t.Fatalf("node %v undecided", node.ID())
+		}
+		if i == 0 {
+			first = out
+		} else if !out.Equal(first) {
+			t.Fatalf("disagreement under byzantine kings: %v vs %v", first, out)
+		}
+	}
+}
+
+// Split-voting Byzantine slots (including king slots) must not break the
+// baseline either — it is the comparator for E7/E8 and needs to be sound
+// for the comparison to mean anything.
+func TestKingSurvivesSplitVoting(t *testing.T) {
+	t.Parallel()
+	g, f := 5, 2
+	n := g + f
+	all := make([]ids.ID, 0, n)
+	for i := 1; i <= n; i++ {
+		all = append(all, ids.ID(i))
+	}
+	dir := adversary.NewDirectory(all, all[:f]) // byz at ids 1..f
+	net := simnet.New(simnet.Config{MaxRounds: 8 * (f + 2)})
+	nodes := make([]*KingConsensus, 0, g)
+	correctIDs := make([]ids.ID, 0, g)
+	for i := f + 1; i <= n; i++ {
+		node := NewKing(ids.ID(i), n, f, wire.V(float64(i%2)))
+		nodes = append(nodes, node)
+		correctIDs = append(correctIDs, ids.ID(i))
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= f; i++ {
+		sv := adversary.NewSplitVoter(ids.ID(i), dir, wire.V(0), wire.V(1))
+		if err := net.AddByzantine(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+		t.Fatal(err)
+	}
+	var first wire.Value
+	for i, node := range nodes {
+		out, ok := node.Output()
+		if !ok {
+			t.Fatalf("node %v undecided", node.ID())
+		}
+		if i == 0 {
+			first = out
+		} else if !out.Equal(first) {
+			t.Fatalf("disagreement: %v vs %v", first, out)
+		}
+	}
+}

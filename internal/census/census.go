@@ -1,0 +1,109 @@
+// Package census implements n_v tracking and the quorum arithmetic of the
+// id-only model.
+//
+// Nodes in the id-only model do not know n (the number of nodes) or f (the
+// bound on Byzantine nodes). The paper's central device is to replace both
+// with n_v — the number of distinct nodes that sent at least one message
+// to node v up to the current round — and the thresholds n_v/3 and 2n_v/3.
+// Because every correct node transmits in the first round, n_v is at least
+// the number of correct nodes g, and because a node can receive from at
+// most n nodes, n_v ≤ n; these two bounds drive every lemma in the paper.
+//
+// Census is that bookkeeping: a monotone set of observed sender ids, plus
+// the exact threshold comparisons ("at least n_v/3", "at least 2n_v/3",
+// "less than n_v/3") in overflow-safe integer arithmetic.
+package census
+
+import "uba/internal/ids"
+
+// Census records the distinct nodes a given node has received at least
+// one message from. The zero value is an empty census ready to use.
+type Census struct {
+	seen map[ids.ID]struct{}
+}
+
+// New returns an empty census.
+func New() *Census {
+	return &Census{seen: make(map[ids.ID]struct{})}
+}
+
+// Observe records that a message from sender has been received. It
+// reports whether the sender was new to the census.
+func (c *Census) Observe(sender ids.ID) bool {
+	if c.seen == nil {
+		c.seen = make(map[ids.ID]struct{})
+	}
+	if _, ok := c.seen[sender]; ok {
+		return false
+	}
+	c.seen[sender] = struct{}{}
+	return true
+}
+
+// N returns n_v, the number of distinct observed senders.
+func (c *Census) N() int { return len(c.seen) }
+
+// Contains reports whether sender has been observed.
+func (c *Census) Contains(sender ids.ID) bool {
+	_, ok := c.seen[sender]
+	return ok
+}
+
+// Members returns the observed sender ids as an ordered set.
+func (c *Census) Members() *ids.Set {
+	s := ids.NewSet()
+	for id := range c.seen {
+		s.Add(id)
+	}
+	return s
+}
+
+// Freeze returns an immutable snapshot of the census. The consensus
+// algorithm (Alg 3) freezes n_v after initialization and thereafter only
+// accepts messages from ids counted during initialization.
+func (c *Census) Freeze() Frozen {
+	members := make(map[ids.ID]struct{}, len(c.seen))
+	for id := range c.seen {
+		members[id] = struct{}{}
+	}
+	return Frozen{members: members}
+}
+
+// Frozen is an immutable census snapshot.
+type Frozen struct {
+	members map[ids.ID]struct{}
+}
+
+// N returns the frozen n_v.
+func (f Frozen) N() int { return len(f.members) }
+
+// Contains reports whether sender was part of the snapshot.
+func (f Frozen) Contains(sender ids.ID) bool {
+	_, ok := f.members[sender]
+	return ok
+}
+
+// Members returns the snapshot membership as an ordered set.
+func (f Frozen) Members() *ids.Set {
+	s := ids.NewSet()
+	for id := range f.members {
+		s.Add(id)
+	}
+	return s
+}
+
+// AtLeastThird reports count ≥ n/3, the paper's "received at least n_v/3
+// messages" condition, computed as 3·count ≥ n to avoid rationals.
+func AtLeastThird(count, n int) bool { return 3*count >= n }
+
+// AtLeastTwoThirds reports count ≥ 2n/3, the paper's "received at least
+// 2n_v/3 messages" condition, computed as 3·count ≥ 2n.
+func AtLeastTwoThirds(count, n int) bool { return 3*count >= 2*n }
+
+// LessThanThird reports count < n/3, the condition under which the
+// consensus algorithm adopts the coordinator's opinion.
+func LessThanThird(count, n int) bool { return 3*count < n }
+
+// DiscardCount returns ⌊n/3⌋, the number of extreme values the
+// approximate-agreement algorithm discards from each end.
+func DiscardCount(n int) int { return n / 3 }

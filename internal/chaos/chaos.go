@@ -1,0 +1,137 @@
+// Package chaos builds randomly composed Byzantine coalitions and runs
+// every protocol of the library against them — metamorphic robustness
+// testing beyond the hand-crafted attacks of the adversary package.
+//
+// The paper's model lets each faulty node behave arbitrarily and
+// *differently*: a coalition is not one strategy but f independent ones,
+// possibly coordinating. A chaos coalition assigns each Byzantine slot a
+// strategy drawn from the full library (silent, crash-wrapped-correct,
+// equivocators, ghost injectors, impersonators, terminate spoofers,
+// membership churners, noise), deterministically from a seed, so a
+// failure reproduces exactly.
+package chaos
+
+import (
+	"math/rand"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// Arena names the protocol family under attack, so the composer can pick
+// strategies that speak that protocol's message vocabulary (every
+// strategy is *valid* against every protocol — stray messages are just
+// ignored — but targeted strategies stress the interesting paths).
+type Arena int
+
+// Arenas.
+const (
+	// ArenaBroadcast targets reliable broadcast (Algorithm 1).
+	ArenaBroadcast Arena = iota + 1
+	// ArenaRotor targets the rotor-coordinator (Algorithm 2).
+	ArenaRotor
+	// ArenaConsensus targets consensus and parallel consensus
+	// (Algorithms 3 and 5).
+	ArenaConsensus
+	// ArenaApprox targets approximate agreement (Algorithm 4).
+	ArenaApprox
+	// ArenaRenaming targets Byzantine renaming.
+	ArenaRenaming
+	// ArenaOrdering targets the dynamic total-ordering protocol.
+	ArenaOrdering
+)
+
+// Coalition builds the Byzantine processes for one run.
+type Coalition struct {
+	rng   *rand.Rand
+	arena Arena
+	dir   *adversary.Directory
+}
+
+// NewCoalition returns a deterministic coalition composer.
+func NewCoalition(arena Arena, dir *adversary.Directory, seed int64) *Coalition {
+	return &Coalition{
+		rng:   rand.New(rand.NewSource(seed)),
+		arena: arena,
+		dir:   dir,
+	}
+}
+
+// Build assigns a strategy to each Byzantine slot. correctTwin builds a
+// correct protocol node for a slot (used by the crash strategy); pass nil
+// to exclude crash-wrapped twins.
+func (c *Coalition) Build(byzIDs []ids.ID, correctTwin func(id ids.ID) simnet.Process) []simnet.Process {
+	out := make([]simnet.Process, 0, len(byzIDs))
+	for _, id := range byzIDs {
+		out = append(out, c.pick(id, byzIDs, correctTwin))
+	}
+	return out
+}
+
+func (c *Coalition) pick(id ids.ID, byzIDs []ids.ID, correctTwin func(id ids.ID) simnet.Process) simnet.Process {
+	// Strategies common to every arena.
+	common := []func() simnet.Process{
+		func() simnet.Process { return adversary.NewSilent(id) },
+		func() simnet.Process { return adversary.NewRandomNoise(id, c.dir, c.rng.Int63()) },
+	}
+	if correctTwin != nil {
+		common = append(common, func() simnet.Process {
+			return adversary.NewCrash(correctTwin(id), 1+c.rng.Intn(12))
+		})
+	}
+
+	var targeted []func() simnet.Process
+	switch c.arena {
+	case ArenaBroadcast:
+		targeted = []func() simnet.Process{
+			func() simnet.Process {
+				return adversary.NewRBEquivocator(id, c.dir, byzIDs[0], []byte("cA"), []byte("cB"))
+			},
+			func() simnet.Process {
+				victim := c.dir.Correct()[c.rng.Intn(len(c.dir.Correct()))]
+				return adversary.NewEchoAmplifier(id, victim, []byte("chaos-forged"))
+			},
+		}
+	case ArenaRotor, ArenaRenaming:
+		targeted = []func() simnet.Process{
+			func() simnet.Process {
+				ghosts := ids.Sparse(rand.New(rand.NewSource(c.rng.Int63())), 6)
+				return adversary.NewGhostCandidate(id, c.dir, ghosts)
+			},
+			func() simnet.Process {
+				return adversary.NewImpersonator(id, wire.V(float64(c.rng.Intn(9))), []uint64{0})
+			},
+		}
+		if c.arena == ArenaRenaming {
+			targeted = append(targeted, func() simnet.Process {
+				return adversary.NewTerminateSpoofer(id)
+			})
+		}
+	case ArenaConsensus:
+		targeted = []func() simnet.Process{
+			func() simnet.Process {
+				return adversary.NewSplitVoter(id, c.dir,
+					wire.V(float64(c.rng.Intn(3))), wire.V(float64(3+c.rng.Intn(3))))
+			},
+			func() simnet.Process {
+				return adversary.NewImpersonator(id, wire.V(float64(c.rng.Intn(9))), []uint64{0})
+			},
+		}
+	case ArenaApprox:
+		targeted = []func() simnet.Process{
+			func() simnet.Process {
+				mag := float64(uint64(1) << uint(10+c.rng.Intn(40)))
+				return adversary.NewInputSplitter(id, c.dir, -mag, mag)
+			},
+		}
+	case ArenaOrdering:
+		targeted = []func() simnet.Process{
+			func() simnet.Process { return adversary.NewMembershipChurner(id, c.dir) },
+		}
+	}
+
+	pool := append(common, targeted...)
+	return pool[c.rng.Intn(len(pool))]()
+}

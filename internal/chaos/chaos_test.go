@@ -1,0 +1,250 @@
+// Chaos suite: every protocol against 20+ randomly composed coalitions.
+// Any failure prints the seed, which reproduces the exact coalition.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uba/internal/adversary"
+	"uba/internal/core/consensus"
+	"uba/internal/core/relbcast"
+	"uba/internal/core/renaming"
+	"uba/internal/core/rotor"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+const chaosSeeds = 24
+
+// build returns sparse ids split into correct/byzantine plus a directory.
+func build(seed int64, g, f int) ([]ids.ID, []ids.ID, *adversary.Directory) {
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, g+f)
+	return all[:g], all[g:], adversary.NewDirectory(all, all[g:])
+}
+
+func TestChaosConsensus(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, f := 7, 2
+			correctIDs, byzIDs, dir := build(seed, g, f)
+			net := simnet.New(simnet.Config{MaxRounds: 400})
+			nodes := make([]*consensus.Node, 0, g)
+			for i, id := range correctIDs {
+				node := consensus.New(id, wire.V(float64(i%2)))
+				nodes = append(nodes, node)
+				if err := net.Add(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			coalition := NewCoalition(ArenaConsensus, dir, seed*101)
+			twin := func(id ids.ID) simnet.Process {
+				return consensus.New(id, wire.V(0))
+			}
+			for _, p := range coalition.Build(byzIDs, twin) {
+				if err := net.AddByzantine(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			var first wire.Value
+			for i, node := range nodes {
+				out, ok := node.Output()
+				if !ok {
+					t.Fatalf("seed %d: node %v undecided", seed, node.ID())
+				}
+				if i == 0 {
+					first = out
+				} else if !out.Equal(first) {
+					t.Fatalf("seed %d: disagreement %v vs %v", seed, first, out)
+				}
+			}
+		})
+	}
+}
+
+func TestChaosReliableBroadcast(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, f := 7, 2
+			correctIDs, byzIDs, dir := build(seed, g, f)
+			net := simnet.New(simnet.Config{MaxRounds: 100})
+			body := []byte("chaos-payload")
+			nodes := make([]*relbcast.Node, 0, g)
+			for i, id := range correctIDs {
+				var node *relbcast.Node
+				if i == 0 {
+					node = relbcast.NewSource(id, body)
+				} else {
+					node = relbcast.NewRelay(id)
+				}
+				nodes = append(nodes, node)
+				if err := net.Add(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			coalition := NewCoalition(ArenaBroadcast, dir, seed*103)
+			for _, p := range coalition.Build(byzIDs, nil) {
+				if err := net.AddByzantine(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 20; i++ {
+				if err := net.RunRound(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Correctness: the legitimate broadcast accepted everywhere
+			// in round 3.
+			for _, node := range nodes {
+				round, ok := node.HasAccepted(correctIDs[0], body)
+				if !ok || round != 3 {
+					t.Fatalf("seed %d: node %v acceptance (%d, %v)", seed, node.ID(), round, ok)
+				}
+			}
+			// Unforgeability + totality for EVERYTHING accepted: any
+			// pair accepted anywhere must be accepted everywhere (by
+			// round r+1, checked post-hoc as totality) and must never
+			// claim a correct non-sender as source.
+			for _, node := range nodes {
+				for _, acc := range node.Accepted() {
+					for _, id := range correctIDs[1:] {
+						if acc.Source == id {
+							t.Fatalf("seed %d: forged source %v accepted", seed, id)
+						}
+					}
+					for _, other := range nodes {
+						if _, ok := other.HasAccepted(acc.Source, acc.Body); !ok {
+							t.Fatalf("seed %d: totality violated for %v/%q",
+								seed, acc.Source, acc.Body)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestChaosRotor(t *testing.T) {
+	t.Parallel()
+	opinionOf := func(id ids.ID) wire.Value { return wire.V(float64(id % 1000003)) }
+	for seed := int64(1); seed <= chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, f := 8, 2
+			correctIDs, byzIDs, dir := build(seed, g, f)
+			net := simnet.New(simnet.Config{MaxRounds: 300})
+			nodes := make([]*rotor.Node, 0, g)
+			for _, id := range correctIDs {
+				node := rotor.New(id, opinionOf(id))
+				nodes = append(nodes, node)
+				if err := net.Add(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			coalition := NewCoalition(ArenaRotor, dir, seed*107)
+			twin := func(id ids.ID) simnet.Process { return rotor.New(id, opinionOf(id)) }
+			for _, p := range coalition.Build(byzIDs, twin) {
+				if err := net.AddByzantine(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rounds, err := net.Run(simnet.AllDone(correctIDs))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if rounds > 4*(g+f) {
+				t.Fatalf("seed %d: %d rounds exceeds O(n)", seed, rounds)
+			}
+			// Good round: some round where all correct accepted the
+			// same correct coordinator's own opinion.
+			if !hasGoodRound(nodes, correctIDs, opinionOf) {
+				t.Fatalf("seed %d: no good round", seed)
+			}
+		})
+	}
+}
+
+func hasGoodRound(nodes []*rotor.Node, correctIDs []ids.ID, opinionOf func(ids.ID) wire.Value) bool {
+	isCorrect := make(map[ids.ID]struct{}, len(correctIDs))
+	for _, id := range correctIDs {
+		isCorrect[id] = struct{}{}
+	}
+	for _, a := range nodes[0].AcceptedOpinions() {
+		if _, ok := isCorrect[a.From]; !ok || !a.X.Equal(opinionOf(a.From)) {
+			continue
+		}
+		common := true
+		for _, other := range nodes[1:] {
+			found := false
+			for _, b := range other.AcceptedOpinions() {
+				if b.Round == a.Round && b.From == a.From && b.X.Equal(a.X) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				common = false
+				break
+			}
+		}
+		if common {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChaosRenaming(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= chaosSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g, f := 7, 2
+			correctIDs, byzIDs, dir := build(seed, g, f)
+			net := simnet.New(simnet.Config{MaxRounds: 300})
+			nodes := make([]*renaming.Node, 0, g)
+			for _, id := range correctIDs {
+				node := renaming.New(id)
+				nodes = append(nodes, node)
+				if err := net.Add(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			coalition := NewCoalition(ArenaRenaming, dir, seed*109)
+			twin := func(id ids.ID) simnet.Process { return renaming.New(id) }
+			for _, p := range coalition.Build(byzIDs, twin) {
+				if err := net.AddByzantine(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			base := nodes[0].FinalSet()
+			for _, node := range nodes {
+				if !node.FinalSet().Equal(base) {
+					t.Fatalf("seed %d: final sets diverge", seed)
+				}
+				for _, other := range nodes {
+					if !base.Contains(other.ID()) {
+						t.Fatalf("seed %d: correct id %v missing", seed, other.ID())
+					}
+				}
+			}
+		})
+	}
+}

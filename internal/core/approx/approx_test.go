@@ -1,0 +1,373 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+func wireInput(v float64) wire.Payload { return wire.Input{X: wire.V(v)} }
+
+func TestReduceBasics(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name   string
+		values []float64
+		want   float64
+		ok     bool
+	}{
+		{"empty", nil, 0, false},
+		{"single", []float64{5}, 5, true},
+		{"two", []float64{2, 4}, 3, true},
+		{"three discards extremes", []float64{0, 10, 100}, 10, true},
+		{"six discards two each side", []float64{0, 1, 2, 3, 4, 100}, 2.5, true},
+		{"byzantine extremes clipped", []float64{-1e9, 1, 2, 3, 1e9}, 2, true},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			got, ok := Reduce(tt.values)
+			if ok != tt.ok || (ok && got != tt.want) {
+				t.Fatalf("Reduce(%v) = (%v, %v), want (%v, %v)",
+					tt.values, got, ok, tt.want, tt.ok)
+			}
+		})
+	}
+}
+
+// Property (Lemma aa-Within as arithmetic): for any multiset containing at
+// least 2k+1 "correct" values and at most k adversarial values with
+// 3k < total, the reduction lands within [min correct, max correct].
+func TestReduceStaysWithinCorrectRange(t *testing.T) {
+	t.Parallel()
+	prop := func(correctRaw []int16, byzRaw []int16, kRaw uint8) bool {
+		if len(correctRaw) == 0 {
+			return true
+		}
+		// Build a configuration with g correct and f = min(len(byz), (g-1)/2)
+		// Byzantine values so that g > 2f (i.e. n > 3f with n = g+f).
+		g := len(correctRaw)
+		f := len(byzRaw)
+		if max := (g - 1) / 2; f > max {
+			f = max
+		}
+		correct := make([]float64, g)
+		for i, r := range correctRaw {
+			correct[i] = float64(r)
+		}
+		all := append([]float64(nil), correct...)
+		for _, r := range byzRaw[:f] {
+			all = append(all, float64(r)*1e6) // wild adversarial values
+		}
+		out, ok := Reduce(all)
+		if !ok {
+			return false
+		}
+		lo, hi := correct[0], correct[0]
+		for _, x := range correct {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return out >= lo && out <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runSingleShot(t *testing.T, seed int64, inputs []float64, nByz int,
+	mkByz func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process) []*Node {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, len(inputs)+nByz)
+	dir := adversary.NewDirectory(all, all[len(inputs):])
+	net := simnet.New(simnet.Config{MaxRounds: 10})
+	nodes := make([]*Node, 0, len(inputs))
+	for i, id := range all[:len(inputs)] {
+		node := New(id, inputs[i])
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mkByz != nil {
+		for _, p := range mkByz(all[len(inputs):], dir) {
+			if err := net.AddByzantine(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(all[:len(inputs)])); err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+func rangeOf(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func outputs(t *testing.T, nodes []*Node) []float64 {
+	t.Helper()
+	out := make([]float64, len(nodes))
+	for i, n := range nodes {
+		x, ok := n.Output()
+		if !ok {
+			t.Fatalf("node %v did not finish", n.ID())
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// Theorem 4: outputs lie within the correct input range and the output
+// range is at most half the input range, under the splitter adversary.
+func TestSingleShotValidityAndHalving(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed * 31))
+			g, f := 7, 2
+			inputs := make([]float64, g)
+			for i := range inputs {
+				inputs[i] = rng.Float64()*100 - 50
+			}
+			mkByz := func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+				out := make([]simnet.Process, len(byzIDs))
+				for i, id := range byzIDs {
+					out[i] = adversary.NewInputSplitter(id, dir, -1e12, 1e12)
+				}
+				return out
+			}
+			nodes := runSingleShot(t, seed, inputs, f, mkByz)
+			outs := outputs(t, nodes)
+			inLo, inHi := rangeOf(inputs)
+			outLo, outHi := rangeOf(outs)
+			if outLo < inLo || outHi > inHi {
+				t.Fatalf("outputs [%v, %v] escape input range [%v, %v]",
+					outLo, outHi, inLo, inHi)
+			}
+			if inHi > inLo && (outHi-outLo) > (inHi-inLo)/2+1e-9 {
+				t.Fatalf("output range %v > half input range %v",
+					outHi-outLo, (inHi-inLo)/2)
+			}
+		})
+	}
+}
+
+func TestSingleShotUnanimousInputs(t *testing.T) {
+	t.Parallel()
+	inputs := []float64{7, 7, 7, 7}
+	nodes := runSingleShot(t, 5, inputs, 1, func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+		out := make([]simnet.Process, len(byzIDs))
+		for i, id := range byzIDs {
+			out[i] = adversary.NewInputSplitter(id, dir, -100, 100)
+		}
+		return out
+	})
+	for _, x := range outputs(t, nodes) {
+		if x != 7 {
+			t.Fatalf("output %v, want exactly 7 (unanimous inputs)", x)
+		}
+	}
+}
+
+// A Byzantine node sending several different values in one round gets
+// only one of them counted.
+func TestEquivocatingInputCountsOnce(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(4))
+	all := ids.Sparse(rng, 5)
+	net := simnet.New(simnet.Config{MaxRounds: 10})
+	inputs := []float64{10, 20, 30, 40}
+	nodes := make([]*Node, 0, 4)
+	for i, id := range all[:4] {
+		node := New(id, inputs[i])
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	multi := &multiValueSender{id: all[4], values: []float64{-1e6, -2e6, -3e6, 1e6}}
+	if err := net.AddByzantine(multi); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(simnet.AllDone(all[:4])); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range nodes {
+		if node.NV() != 5 {
+			t.Fatalf("node %v counted %d values, want 5 (one per sender)", node.ID(), node.NV())
+		}
+		x, _ := node.Output()
+		if x < 10 || x > 40 {
+			t.Fatalf("output %v escaped correct range [10, 40]", x)
+		}
+	}
+}
+
+type multiValueSender struct {
+	id     ids.ID
+	values []float64
+}
+
+func (m *multiValueSender) ID() ids.ID { return m.id }
+func (m *multiValueSender) Done() bool { return false }
+func (m *multiValueSender) Step(env *simnet.RoundEnv) {
+	for _, v := range m.values {
+		env.Broadcast(wireInput(v))
+	}
+}
+
+// NaN injections must be ignored entirely.
+func TestNaNInjectionIgnored(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(6))
+	all := ids.Sparse(rng, 5)
+	net := simnet.New(simnet.Config{MaxRounds: 10})
+	nodes := make([]*Node, 0, 4)
+	for i, id := range all[:4] {
+		node := New(id, float64(i+1))
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nan := &multiValueSender{id: all[4], values: []float64{math.NaN()}}
+	if err := net.AddByzantine(nan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(simnet.AllDone(all[:4])); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range nodes {
+		x, _ := node.Output()
+		if math.IsNaN(x) || x < 1 || x > 4 {
+			t.Fatalf("output %v poisoned by NaN injection", x)
+		}
+	}
+}
+
+// Iterated agreement: range halves (at least) every round, so after k
+// rounds the correct estimates span ≤ range/2^k.
+func TestIteratedConvergenceRate(t *testing.T) {
+	t.Parallel()
+	const rounds = 8
+	rng := rand.New(rand.NewSource(12))
+	all := ids.Sparse(rng, 9)
+	dir := adversary.NewDirectory(all, all[7:])
+	net := simnet.New(simnet.Config{MaxRounds: 50})
+	inputs := []float64{0, 16, 32, 48, 64, 80, 128}
+	nodes := make([]*Iterated, 0, 7)
+	for i, id := range all[:7] {
+		node := NewIterated(id, inputs[i], rounds)
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range all[7:] {
+		if err := net.AddByzantine(adversary.NewInputSplitter(id, dir, -1e9, 1e9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(all[:7])); err != nil {
+		t.Fatal(err)
+	}
+	inLo, inHi := rangeOf(inputs)
+	prevRange := inHi - inLo
+	for step := 0; step < rounds; step++ {
+		ests := make([]float64, len(nodes))
+		for i, n := range nodes {
+			h := n.History()
+			if len(h) != rounds {
+				t.Fatalf("node %v recorded %d steps, want %d", n.ID(), len(h), rounds)
+			}
+			ests[i] = h[step]
+		}
+		lo, hi := rangeOf(ests)
+		if lo < inLo || hi > inHi {
+			t.Fatalf("step %d: estimates [%v, %v] escaped input range", step, lo, hi)
+		}
+		if hi-lo > prevRange/2+1e-9 {
+			t.Fatalf("step %d: range %v did not halve from %v", step, hi-lo, prevRange)
+		}
+		prevRange = hi - lo
+	}
+	// After 8 halvings of a 128-wide range the spread must be ≤ 0.5.
+	finals := make([]float64, len(nodes))
+	for i, n := range nodes {
+		finals[i] = n.Estimate()
+	}
+	lo, hi := rangeOf(finals)
+	if hi-lo > 128.0/256.0 {
+		t.Fatalf("final spread %v, want ≤ 0.5", hi-lo)
+	}
+}
+
+// Dynamic membership (§8): nodes joining and leaving between rounds do not
+// break validity as long as n > 3f each round; joiners adopt values inside
+// the current correct range, so the range keeps shrinking.
+func TestIteratedWithChurn(t *testing.T) {
+	t.Parallel()
+	const rounds = 6
+	rng := rand.New(rand.NewSource(33))
+	all := ids.Sparse(rng, 12)
+	net := simnet.New(simnet.Config{MaxRounds: 60})
+	initial := all[:8]
+	inputs := []float64{0, 10, 20, 30, 40, 50, 60, 70}
+	nodes := make(map[ids.ID]*Iterated, 12)
+	for i, id := range initial {
+		node := NewIterated(id, inputs[i], rounds)
+		nodes[id] = node
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Run two rounds, remove one node, add two new ones whose inputs sit
+	// inside the original range, keep going.
+	for i := 0; i < 2; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Remove(initial[0])
+	delete(nodes, initial[0])
+	for i, id := range all[8:10] {
+		node := NewIterated(id, 35+float64(i), rounds)
+		nodes[id] = node
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := make([]ids.ID, 0, len(nodes))
+	for id := range nodes {
+		live = append(live, id)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	if _, err := net.Run(simnet.AllDone(live)); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range nodes {
+		est := node.Estimate()
+		if est < 0 || est > 70 {
+			t.Fatalf("node %v estimate %v escaped original range", node.ID(), est)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The Discussion section observes that removing n and f "opens up ways to
+// achieve agreement in networks without using information from every
+// node": a node joining an already-converged system can run the
+// reduction against any subset of nodes and land near the group's value.
+// Reduce is that primitive; these tests pin the property down.
+
+// Joining against a subset of a converged group: the newcomer's estimate
+// lands inside the subset's (tight) range even when the subset includes
+// up to a third adversarial values.
+func TestJoinAgainstSubsetOfConvergedGroup(t *testing.T) {
+	t.Parallel()
+	// The group has converged to ~42 (spread 0.01). A joiner with a
+	// wildly wrong initial estimate samples only 5 of the nodes, one of
+	// which is Byzantine and reports an extreme value.
+	subset := []float64{41.995, 42.0, 42.002, 42.005, -1e9}
+	joinerEstimate := 7000.0
+	_ = joinerEstimate // the joiner's own estimate is replaced entirely
+	got, ok := Reduce(subset)
+	if !ok {
+		t.Fatal("reduce failed")
+	}
+	if got < 41.9 || got > 42.1 {
+		t.Fatalf("joiner landed at %v, want ≈42", got)
+	}
+}
+
+// Property: reducing any subset containing ≥ 2k+1 values from a converged
+// interval and ≤ k outliers lands inside the interval.
+func TestJoinSubsetProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(seed int64, subsetRaw, outlierRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		honest := int(subsetRaw%8) + 3 // 3..10 honest samples
+		outliers := int(outlierRaw) % ((honest - 1) / 2)
+		center := rng.Float64()*200 - 100
+		const width = 0.5
+		values := make([]float64, 0, honest+outliers)
+		for i := 0; i < honest; i++ {
+			values = append(values, center+(rng.Float64()-0.5)*width)
+		}
+		for i := 0; i < outliers; i++ {
+			values = append(values, (rng.Float64()-0.5)*1e9)
+		}
+		got, ok := Reduce(values)
+		if !ok {
+			return false
+		}
+		return got >= center-width/2 && got <= center+width/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,16 @@
+// Package core groups the paper's algorithms — the primary contribution
+// of the reproduction. Each algorithm lives in its own subpackage:
+//
+//   - relbcast: reliable broadcast in the id-only model (Algorithm 1)
+//   - rotor: the rotor-coordinator (Algorithm 2)
+//   - consensus: early-terminating consensus (Algorithm 3)
+//   - approx: approximate agreement (Algorithm 4)
+//   - parallelcon: EarlyConsensus(id) and ParallelConsensus (Algorithm 5)
+//   - ordering: total ordering of events in dynamic networks (Algorithm 6)
+//   - renaming: Byzantine renaming (appendix)
+//   - trb: terminating reliable broadcast (appendix)
+//
+// All of them operate in the id-only model: nodes know their own
+// identifier but neither n nor f, identifiers are sparse, and resiliency
+// is the optimal n > 3f.
+package core

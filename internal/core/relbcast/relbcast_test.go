@@ -1,0 +1,358 @@
+package relbcast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// fixture wires up a reliable-broadcast network: correct nodes (one of
+// them optionally the source) plus arbitrary Byzantine processes.
+type fixture struct {
+	net     *simnet.Network
+	correct []*Node
+}
+
+func newFixture(t *testing.T, nCorrect int, sourceIdx int, body []byte, seed int64,
+	byz func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process, nByz int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, nCorrect+nByz)
+	correctIDs := all[:nCorrect]
+	byzIDs := all[nCorrect:]
+	dir := adversary.NewDirectory(all, byzIDs)
+
+	net := simnet.New(simnet.Config{MaxRounds: 200})
+	f := &fixture{net: net}
+	for i, id := range correctIDs {
+		var node *Node
+		if i == sourceIdx {
+			node = NewSource(id, body)
+		} else {
+			node = NewRelay(id)
+		}
+		f.correct = append(f.correct, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if byz != nil {
+		for _, p := range byz(byzIDs, dir) {
+			if err := net.AddByzantine(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+func (f *fixture) run(t *testing.T, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		if err := f.net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func silentProcs(byzIDs []ids.ID, _ *adversary.Directory) []simnet.Process {
+	out := make([]simnet.Process, len(byzIDs))
+	for i, id := range byzIDs {
+		out[i] = adversary.NewSilent(id)
+	}
+	return out
+}
+
+// Correctness (Lemma 1): with a correct source and n > 3f, every correct
+// node accepts (m, s) in round 3 exactly.
+func TestCorrectSourceAcceptedInRoundThree(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ nCorrect, nByz int }{
+		{4, 0}, {3, 1}, {7, 2}, {9, 4}, {21, 10},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("g=%d_f=%d", tc.nCorrect, tc.nByz), func(t *testing.T) {
+			t.Parallel()
+			body := []byte("payload")
+			f := newFixture(t, tc.nCorrect, 0, body, 11, silentProcs, tc.nByz)
+			f.run(t, 4)
+			src := f.correct[0].ID()
+			for _, node := range f.correct {
+				round, ok := node.HasAccepted(src, body)
+				if !ok {
+					t.Fatalf("node %v did not accept", node.ID())
+				}
+				if round != 3 {
+					t.Fatalf("node %v accepted in round %d, want 3", node.ID(), round)
+				}
+			}
+		})
+	}
+}
+
+// The present broadcasts guarantee n_v ≥ g at every correct node from
+// round 2 on.
+func TestPresentMakesCensusCoverCorrectNodes(t *testing.T) {
+	t.Parallel()
+	f := newFixture(t, 6, 0, []byte("m"), 3, silentProcs, 2)
+	f.run(t, 2)
+	for _, node := range f.correct {
+		if node.NV() < 6 {
+			t.Fatalf("node %v has n_v = %d < g = 6", node.ID(), node.NV())
+		}
+	}
+}
+
+// Unforgeability: a coalition that fabricates echoes for a message the
+// (correct) source never sent must not get it accepted while n > 3f.
+func TestForgedEchoesRejectedWhenResilient(t *testing.T) {
+	t.Parallel()
+	forgedBody := []byte("forged")
+	var victim ids.ID
+	mkByz := func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+		out := make([]simnet.Process, len(byzIDs))
+		for i, id := range byzIDs {
+			out[i] = adversary.NewEchoAmplifier(id, victim, forgedBody)
+		}
+		return out
+	}
+	// g = 5 correct, f = 2 Byzantine: n = 7 > 3f = 6.
+	rng := rand.New(rand.NewSource(21))
+	all := ids.Sparse(rng, 7)
+	victim = all[1] // a correct relay that never broadcasts anything
+
+	net := simnet.New(simnet.Config{MaxRounds: 100})
+	correct := make([]*Node, 0, 5)
+	for i, id := range all[:5] {
+		var node *Node
+		if i == 0 {
+			node = NewSource(id, []byte("legit"))
+		} else {
+			node = NewRelay(id)
+		}
+		correct = append(correct, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := adversary.NewDirectory(all, all[5:])
+	for _, p := range mkByz(all[5:], dir) {
+		if err := net.AddByzantine(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range correct {
+		if _, ok := node.HasAccepted(victim, forgedBody); ok {
+			t.Fatalf("node %v accepted a forged message from correct node %v",
+				node.ID(), victim)
+		}
+		if _, ok := node.HasAccepted(all[0], []byte("legit")); !ok {
+			t.Fatalf("node %v failed to accept the legitimate broadcast", node.ID())
+		}
+	}
+}
+
+// The same forgery succeeds when n = 3f, demonstrating that n > 3f is
+// exactly the resiliency boundary (experiment E3's unit-scale core).
+func TestForgedEchoesAcceptedAtBoundary(t *testing.T) {
+	t.Parallel()
+	forgedBody := []byte("forged")
+	// g = 4 correct, f = 2 Byzantine: n = 6 = 3f, resiliency violated.
+	rng := rand.New(rand.NewSource(22))
+	all := ids.Sparse(rng, 6)
+	victim := all[1]
+
+	net := simnet.New(simnet.Config{MaxRounds: 100})
+	correct := make([]*Node, 0, 4)
+	for _, id := range all[:4] {
+		node := NewRelay(id)
+		correct = append(correct, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range all[4:] {
+		if err := net.AddByzantine(adversary.NewEchoAmplifier(id, victim, forgedBody)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	violated := false
+	for _, node := range correct {
+		if _, ok := node.HasAccepted(victim, forgedBody); ok {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("expected unforgeability to be violable at n = 3f; it held")
+	}
+}
+
+// Relay (Lemma 4): whenever any correct node accepts any (m, s) in round
+// r, every correct node has accepted it by round r+1 — even under an
+// equivocating source backed by a coalition.
+func TestRelayPropertyUnderEquivocation(t *testing.T) {
+	t.Parallel()
+	bodyA, bodyB := []byte("A"), []byte("B")
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			// g = 7 correct relays, f = 2 Byzantine (source + helper).
+			all := ids.Sparse(rng, 9)
+			byzIDs := all[7:]
+			dir := adversary.NewDirectory(all, byzIDs)
+			net := simnet.New(simnet.Config{MaxRounds: 100})
+			correct := make([]*Node, 0, 7)
+			for _, id := range all[:7] {
+				node := NewRelay(id)
+				correct = append(correct, node)
+				if err := net.Add(node); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range byzIDs {
+				eq := adversary.NewRBEquivocator(id, dir, byzIDs[0], bodyA, bodyB)
+				if err := net.AddByzantine(eq); err != nil {
+					t.Fatal(err)
+				}
+			}
+			const horizon = 40
+			// Track acceptance rounds per (pair, node) as the run
+			// progresses.
+			for i := 0; i < horizon; i++ {
+				if err := net.RunRound(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, body := range [][]byte{bodyA, bodyB} {
+				first, last := 0, 0
+				accepted := 0
+				for _, node := range correct {
+					round, ok := node.HasAccepted(byzIDs[0], body)
+					if !ok {
+						continue
+					}
+					accepted++
+					if first == 0 || round < first {
+						first = round
+					}
+					if round > last {
+						last = round
+					}
+				}
+				if accepted != 0 && accepted != len(correct) {
+					t.Fatalf("body %q: %d/%d correct nodes accepted (totality violated)",
+						body, accepted, len(correct))
+				}
+				if accepted > 0 && last > first+1 {
+					t.Fatalf("body %q: first acceptance round %d, last %d (relay violated)",
+						body, first, last)
+				}
+			}
+		})
+	}
+}
+
+// Multiple concurrent sources: every correct node accepts every correct
+// source's message, each tracked independently.
+func TestManyConcurrentSources(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	all := ids.Sparse(rng, 10)
+	net := simnet.New(simnet.Config{MaxRounds: 100})
+	nodes := make([]*Node, 0, 8)
+	for i, id := range all[:8] {
+		node := NewSource(id, []byte{byte('a' + i)})
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range all[8:] {
+		if err := net.AddByzantine(adversary.NewSilent(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range nodes {
+		acc := node.Accepted()
+		if len(acc) != 8 {
+			t.Fatalf("node %v accepted %d broadcasts, want 8", node.ID(), len(acc))
+		}
+		for i, a := range acc {
+			if a.Source != all[i] {
+				t.Fatalf("acceptance %d from %v, want %v", i, a.Source, all[i])
+			}
+		}
+	}
+}
+
+// A Byzantine node relaying someone else's round-1 message must not
+// trigger the direct-receipt echo: only From == Source counts.
+func TestRelayedInitDoesNotCountAsDirect(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(9))
+	all := ids.Sparse(rng, 5)
+	victim := all[0]
+	net := simnet.New(simnet.Config{MaxRounds: 100})
+	nodes := make([]*Node, 0, 4)
+	for _, id := range all[:4] {
+		node := NewRelay(id)
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The Byzantine node broadcasts an RBMessage whose Source field
+	// names the (silent, correct) victim. Receivers must not echo it.
+	byz := &replayer{id: all[4], payloadSource: victim, body: []byte("fake")}
+	if err := net.AddByzantine(byz); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := net.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range nodes {
+		if _, ok := node.HasAccepted(victim, []byte("fake")); ok {
+			t.Fatalf("node %v accepted a relayed forgery", node.ID())
+		}
+		if len(node.Accepted()) != 0 {
+			t.Fatalf("node %v accepted something unexpected: %+v", node.ID(), node.Accepted())
+		}
+	}
+}
+
+// replayer broadcasts an RBMessage with a forged Source field every round.
+type replayer struct {
+	id            ids.ID
+	payloadSource ids.ID
+	body          []byte
+}
+
+func (r *replayer) ID() ids.ID { return r.id }
+func (r *replayer) Done() bool { return false }
+func (r *replayer) Step(env *simnet.RoundEnv) {
+	env.Broadcast(wire.RBMessage{Source: r.payloadSource, Body: r.body})
+}

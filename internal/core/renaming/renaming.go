@@ -1,0 +1,172 @@
+// Package renaming implements the paper's appendix algorithm for
+// Byzantine renaming in the id-only model.
+//
+// Nodes start with unique but arbitrarily large, sparse identifiers and
+// must consistently reassign themselves small names 1..|S|: every correct
+// node ends with the same view of the participating id set S and outputs,
+// for each member, its rank in S. The set is agreed upon with the
+// reliable-broadcast echo mechanism of Algorithm 1 applied to identifiers
+// (as in the rotor-coordinator), and termination is detected by observing
+// two consecutive rounds in which S did not change, then agreeing on that
+// observation — again in reliable-broadcast fashion — via terminate(k)
+// messages.
+//
+// Round complexity is O(f): at most 2f+1 rounds can be non-silent for
+// some correct node, so by round 4f+3 of the loop two globally silent
+// consecutive rounds have occurred and the terminate quorum forms.
+package renaming
+
+import (
+	"sort"
+
+	"uba/internal/census"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// Node is one correct renaming participant.
+type Node struct {
+	id  ids.ID
+	cen census.Census
+	set ids.Set // S
+
+	changedThisRound bool
+	changedLastRound bool
+	everSilentPair   bool
+
+	terminated bool
+	termRound  int
+}
+
+var _ simnet.Process = (*Node)(nil)
+
+// New returns a renaming participant.
+func New(id ids.ID) *Node { return &Node{id: id} }
+
+// ID implements simnet.Process.
+func (n *Node) ID() ids.ID { return n.id }
+
+// Done implements simnet.Process.
+func (n *Node) Done() bool { return n.terminated }
+
+// NewName returns this node's assigned compact name (1-based rank of its
+// id in the final set S) once terminated.
+func (n *Node) NewName() (int, bool) {
+	if !n.terminated {
+		return 0, false
+	}
+	rank, ok := n.set.Rank(n.id)
+	if !ok {
+		return 0, false
+	}
+	return rank + 1, true
+}
+
+// NameOf returns the new name assigned to the given original id.
+func (n *Node) NameOf(id ids.ID) (int, bool) {
+	if !n.terminated {
+		return 0, false
+	}
+	rank, ok := n.set.Rank(id)
+	if !ok {
+		return 0, false
+	}
+	return rank + 1, true
+}
+
+// FinalSet returns the agreed id set once terminated.
+func (n *Node) FinalSet() *ids.Set { return n.set.Clone() }
+
+// TerminationRound returns the round in which the node terminated.
+func (n *Node) TerminationRound() int { return n.termRound }
+
+// Step implements simnet.Process.
+func (n *Node) Step(env *simnet.RoundEnv) {
+	for _, m := range env.Inbox {
+		n.cen.Observe(m.From)
+	}
+	switch env.Round {
+	case 1:
+		env.Broadcast(wire.Init{})
+	case 2:
+		for _, m := range env.Inbox {
+			if _, ok := m.Payload.(wire.Init); ok {
+				env.Broadcast(wire.IDEcho{Candidate: m.From})
+			}
+		}
+	default:
+		n.loopRound(env)
+	}
+}
+
+func (n *Node) loopRound(env *simnet.RoundEnv) {
+	nv := n.cen.N()
+
+	echoCounts := make(map[ids.ID]int)
+	termCounts := make(map[uint64]int)
+	for _, m := range env.Inbox {
+		switch p := m.Payload.(type) {
+		case wire.IDEcho:
+			if p.Instance == 0 {
+				echoCounts[p.Candidate]++
+			}
+		case wire.Terminate:
+			termCounts[p.Round]++
+		}
+	}
+
+	var outbox []wire.Payload
+
+	// Identifier agreement, reliable-broadcast style.
+	candOrder := make([]ids.ID, 0, len(echoCounts))
+	for p := range echoCounts {
+		candOrder = append(candOrder, p)
+	}
+	sort.Slice(candOrder, func(i, j int) bool { return candOrder[i] < candOrder[j] })
+	n.changedLastRound = n.changedThisRound
+	n.changedThisRound = false
+	for _, p := range candOrder {
+		if n.set.Contains(p) {
+			continue
+		}
+		count := echoCounts[p]
+		if census.AtLeastThird(count, nv) {
+			outbox = append(outbox, wire.IDEcho{Candidate: p})
+		}
+		if census.AtLeastTwoThirds(count, nv) {
+			n.set.Add(p)
+			n.changedThisRound = true
+		}
+	}
+
+	// Termination initiation: two consecutive silent rounds ending now.
+	if env.Round >= 4 && !n.changedThisRound && !n.changedLastRound {
+		outbox = append(outbox, wire.Terminate{Round: uint64(env.Round - 1)})
+	}
+
+	// Termination relay and quorum.
+	termOrder := make([]uint64, 0, len(termCounts))
+	for k := range termCounts {
+		termOrder = append(termOrder, k)
+	}
+	sort.Slice(termOrder, func(i, j int) bool { return termOrder[i] < termOrder[j] })
+	decide := false
+	for _, k := range termOrder {
+		count := termCounts[k]
+		if census.AtLeastThird(count, nv) {
+			outbox = append(outbox, wire.Terminate{Round: k})
+		}
+		if census.AtLeastTwoThirds(count, nv) {
+			decide = true
+		}
+	}
+
+	for _, p := range outbox {
+		env.Broadcast(p)
+	}
+	if decide {
+		n.terminated = true
+		n.termRound = env.Round
+	}
+}

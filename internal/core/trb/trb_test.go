@@ -1,0 +1,218 @@
+package trb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+func runTRB(t *testing.T, seed int64, g, f int, sourceCorrect bool, body []byte,
+	mkByz func(byzIDs []ids.ID, dir *adversary.Directory, source ids.ID) []simnet.Process) ([]*Node, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, g+f)
+	correctIDs := all[:g]
+	byzIDs := all[g:]
+	dir := adversary.NewDirectory(all, byzIDs)
+	source := correctIDs[0]
+	if !sourceCorrect {
+		source = byzIDs[0]
+	}
+
+	net := simnet.New(simnet.Config{MaxRounds: 60*(g+f) + 200})
+	nodes := make([]*Node, 0, g)
+	for i, id := range correctIDs {
+		var node *Node
+		if sourceCorrect && i == 0 {
+			node = NewSource(id, body)
+		} else {
+			node = New(id, source)
+		}
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mkByz != nil {
+		for _, p := range mkByz(byzIDs, dir, source) {
+			if err := net.AddByzantine(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rounds, err := net.Run(simnet.AllDone(correctIDs))
+	if err != nil {
+		t.Fatalf("TRB did not terminate: %v", err)
+	}
+	return nodes, rounds
+}
+
+func silentByz(byzIDs []ids.ID, _ *adversary.Directory, _ ids.ID) []simnet.Process {
+	out := make([]simnet.Process, len(byzIDs))
+	for i, id := range byzIDs {
+		out[i] = adversary.NewSilent(id)
+	}
+	return out
+}
+
+// Correct source: everyone terminates and delivers exactly the body.
+func TestCorrectSourceDelivered(t *testing.T) {
+	t.Parallel()
+	body := []byte("the payload")
+	nodes, rounds := runTRB(t, 1, 7, 2, true, body, silentByz)
+	for _, node := range nodes {
+		got, delivered, ok := node.Output()
+		if !ok || !delivered {
+			t.Fatalf("node %v: delivered=%v ok=%v", node.ID(), delivered, ok)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("node %v delivered %q, want %q", node.ID(), got, body)
+		}
+	}
+	// Unanimous opinions: single consensus phase (round 7).
+	if rounds != 7 {
+		t.Fatalf("took %d rounds, want 7", rounds)
+	}
+}
+
+// Silent (crashed) source: everyone agrees "nothing delivered".
+func TestSilentSourceAgreesOnNothing(t *testing.T) {
+	t.Parallel()
+	nodes, _ := runTRB(t, 2, 7, 2, false, nil, silentByz)
+	for _, node := range nodes {
+		_, delivered, ok := node.Output()
+		if !ok {
+			t.Fatalf("node %v did not terminate", node.ID())
+		}
+		if delivered {
+			t.Fatalf("node %v delivered from a silent source", node.ID())
+		}
+	}
+}
+
+// Equivocating Byzantine source (different bodies to different halves):
+// all correct nodes agree on a single outcome — one of the bodies or
+// nothing — and any delivered body is identical everywhere.
+func TestEquivocatingSourceForcesSingleOutcome(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			bodyA, bodyB := []byte("AAA"), []byte("BBB")
+			mkByz := func(byzIDs []ids.ID, dir *adversary.Directory, source ids.ID) []simnet.Process {
+				out := make([]simnet.Process, len(byzIDs))
+				for i, id := range byzIDs {
+					out[i] = &splitSource{
+						id: id, dir: dir, source: source,
+						bodyA: bodyA, bodyB: bodyB,
+					}
+				}
+				return out
+			}
+			nodes, _ := runTRB(t, seed, 7, 2, false, nil, mkByz)
+			refBody, refDelivered, _ := nodes[0].Output()
+			for _, node := range nodes {
+				body, delivered, ok := node.Output()
+				if !ok {
+					t.Fatalf("node %v did not terminate", node.ID())
+				}
+				if delivered != refDelivered || !bytes.Equal(body, refBody) {
+					t.Fatalf("outcome mismatch: %v got (%q,%v), %v got (%q,%v)",
+						nodes[0].ID(), refBody, refDelivered, node.ID(), body, delivered)
+				}
+			}
+			if refDelivered && !bytes.Equal(refBody, bodyA) && !bytes.Equal(refBody, bodyB) && refBody != nil {
+				t.Fatalf("delivered foreign body %q", refBody)
+			}
+		})
+	}
+}
+
+// splitSource is a Byzantine source (plus helpers) sending body A to one
+// half and body B to the other in round 1, then split-voting fingerprints.
+type splitSource struct {
+	id     ids.ID
+	dir    *adversary.Directory
+	source ids.ID
+	bodyA  []byte
+	bodyB  []byte
+}
+
+func (s *splitSource) ID() ids.ID { return s.id }
+func (s *splitSource) Done() bool { return false }
+func (s *splitSource) Step(env *simnet.RoundEnv) {
+	halfA, halfB := s.dir.Halves()
+	switch env.Round {
+	case 1:
+		env.Broadcast(wire.Init{})
+		if s.id == s.source {
+			for _, to := range halfA {
+				env.Send(to, wire.RBMessage{Source: s.id, Body: s.bodyA})
+			}
+			for _, to := range halfB {
+				env.Send(to, wire.RBMessage{Source: s.id, Body: s.bodyB})
+			}
+		}
+	case 2:
+		env.Broadcast(wire.IDEcho{Candidate: s.id})
+	default:
+		fpA, fpB := Fingerprint(s.bodyA), Fingerprint(s.bodyB)
+		switch (env.Round - 3) % 5 {
+		case 0:
+			for _, to := range halfA {
+				env.Send(to, wire.Input{X: fpA})
+			}
+			for _, to := range halfB {
+				env.Send(to, wire.Input{X: fpB})
+			}
+		case 1:
+			for _, to := range halfA {
+				env.Send(to, wire.Prefer{X: fpA})
+			}
+			for _, to := range halfB {
+				env.Send(to, wire.Prefer{X: fpB})
+			}
+		case 2:
+			for _, to := range halfA {
+				env.Send(to, wire.StrongPrefer{X: fpA})
+			}
+			for _, to := range halfB {
+				env.Send(to, wire.StrongPrefer{X: fpB})
+			}
+		}
+	}
+}
+
+func TestFingerprintProperties(t *testing.T) {
+	t.Parallel()
+	a := Fingerprint([]byte("hello"))
+	b := Fingerprint([]byte("hello"))
+	c := Fingerprint([]byte("world"))
+	if !a.Equal(b) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a.Equal(c) {
+		t.Fatal("distinct bodies collide")
+	}
+	empty := Fingerprint(nil)
+	if empty.IsBot {
+		t.Fatal("fingerprint of empty body must not be ⊥")
+	}
+	// Fingerprints survive the wire round trip bit-exactly (NaN
+	// patterns included).
+	enc := wire.Encode(wire.Input{X: a})
+	dec, err := wire.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.(wire.Input).X.Equal(a) {
+		t.Fatal("fingerprint mangled by encoding")
+	}
+}

@@ -1,0 +1,182 @@
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"uba/internal/adversary"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+func runVector(t *testing.T, seed int64, values []float64, nByz int,
+	mkByz func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process) []*Node {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, len(values)+nByz)
+	dir := adversary.NewDirectory(all, all[len(values):])
+	net := simnet.New(simnet.Config{MaxRounds: 500})
+	nodes := make([]*Node, 0, len(values))
+	for i, id := range all[:len(values)] {
+		node := New(id, values[i])
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mkByz != nil {
+		for _, p := range mkByz(all[len(values):], dir) {
+			if err := net.AddByzantine(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(all[:len(values)])); err != nil {
+		t.Fatalf("vector agreement did not terminate: %v", err)
+	}
+	return nodes
+}
+
+func checkVectorAgreement(t *testing.T, nodes []*Node) []Entry {
+	t.Helper()
+	base := nodes[0].Vector()
+	for _, node := range nodes[1:] {
+		got := node.Vector()
+		if len(got) != len(base) {
+			t.Fatalf("node %v vector size %d vs %d", node.ID(), len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("vector slot %d: %v vs %v", i, got[i], base[i])
+			}
+		}
+	}
+	return base
+}
+
+func TestVectorFaultFree(t *testing.T) {
+	t.Parallel()
+	values := []float64{10, 20, 30, 40, 50}
+	nodes := runVector(t, 1, values, 0, nil)
+	vec := checkVectorAgreement(t, nodes)
+	if len(vec) != len(values) {
+		t.Fatalf("vector %v, want %d slots", vec, len(values))
+	}
+	for i, node := range nodes {
+		found := false
+		for _, e := range vec {
+			if e.Node == node.ID() && e.Value == values[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %v's value %v missing: %v", node.ID(), values[i], vec)
+		}
+	}
+}
+
+// Validity under silent Byzantine nodes: every correct slot present, no
+// phantom slots.
+func TestVectorWithSilentByzantine(t *testing.T) {
+	t.Parallel()
+	values := []float64{1, 2, 3, 4, 5, 6, 7}
+	mkByz := func(byzIDs []ids.ID, _ *adversary.Directory) []simnet.Process {
+		out := make([]simnet.Process, len(byzIDs))
+		for i, id := range byzIDs {
+			out[i] = adversary.NewSilent(id)
+		}
+		return out
+	}
+	nodes := runVector(t, 2, values, 2, mkByz)
+	vec := checkVectorAgreement(t, nodes)
+	if len(vec) != len(values) {
+		t.Fatalf("vector has %d slots, want %d (silent nodes contribute none)", len(vec), len(values))
+	}
+}
+
+// A Byzantine node equivocating its contribution gets at most one agreed
+// slot value — identical at every correct node.
+func TestVectorEquivocatedSlot(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			values := []float64{1, 2, 3, 4, 5, 6, 7}
+			mkByz := func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+				out := make([]simnet.Process, len(byzIDs))
+				for i, id := range byzIDs {
+					out[i] = &valueEquivocator{id: id, dir: dir, valA: 111, valB: 222}
+				}
+				return out
+			}
+			nodes := runVector(t, seed, values, 2, mkByz)
+			vec := checkVectorAgreement(t, nodes)
+			for _, e := range vec {
+				isCorrectSlot := false
+				for _, node := range nodes {
+					if e.Node == node.ID() {
+						isCorrectSlot = true
+					}
+				}
+				if !isCorrectSlot && e.Value != 111 && e.Value != 222 {
+					t.Fatalf("byzantine slot decided foreign value %v", e.Value)
+				}
+			}
+			if len(vec) < len(values) {
+				t.Fatalf("correct slots missing: %v", vec)
+			}
+		})
+	}
+}
+
+// valueEquivocator contributes value A to one half and B to the other,
+// then participates in init so it is censused, and stays silent after.
+type valueEquivocator struct {
+	id         ids.ID
+	dir        *adversary.Directory
+	valA, valB float64
+}
+
+func (v *valueEquivocator) ID() ids.ID { return v.id }
+func (v *valueEquivocator) Done() bool { return false }
+func (v *valueEquivocator) Step(env *simnet.RoundEnv) {
+	if env.Round != 1 {
+		return
+	}
+	env.Broadcast(wire.Init{})
+	halfA, halfB := v.dir.Halves()
+	mk := func(x float64) wire.Payload {
+		return wire.Event{Round: 0, Body: binary.LittleEndian.AppendUint64(nil, math.Float64bits(x))}
+	}
+	for _, to := range halfA {
+		env.Send(to, mk(v.valA))
+	}
+	for _, to := range halfB {
+		env.Send(to, mk(v.valB))
+	}
+}
+
+// NaN contributions are dropped before they can poison a slot.
+func TestVectorNaNContributionIgnored(t *testing.T) {
+	t.Parallel()
+	values := []float64{1, 2, 3, 4}
+	mkByz := func(byzIDs []ids.ID, dir *adversary.Directory) []simnet.Process {
+		out := make([]simnet.Process, len(byzIDs))
+		for i, id := range byzIDs {
+			out[i] = &valueEquivocator{id: id, dir: dir, valA: math.NaN(), valB: math.NaN()}
+		}
+		return out
+	}
+	nodes := runVector(t, 3, values, 1, mkByz)
+	vec := checkVectorAgreement(t, nodes)
+	for _, e := range vec {
+		if math.IsNaN(e.Value) {
+			t.Fatalf("NaN slot survived: %v", vec)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"uba"
+	"uba/internal/adversary"
+	"uba/internal/baseline"
+	"uba/internal/core/approx"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/stats"
+)
+
+// spreadInputs spaces g inputs evenly across [0, width].
+func spreadInputs(g int, width float64) []float64 {
+	out := make([]float64, g)
+	for i := range out {
+		out[i] = width * float64(i) / float64(g-1)
+	}
+	return out
+}
+
+// E9ApproxConvergence measures the per-round convergence factor of
+// Algorithm 4 under the value-splitting adversary: Theorem 4 promises
+// outputs inside the correct range, at most half as wide.
+func E9ApproxConvergence(quick bool) (*Outcome, error) {
+	sizes := []int{4, 7, 13, 25}
+	if quick {
+		sizes = []int{4, 7}
+	}
+	table := Table{
+		Title:   "E9: approximate agreement range contraction (split adversary, range 100)",
+		Columns: []string{"n", "f", "output range / input range", "within input range", "rounds to spread<0.1 (iterated)"},
+	}
+	pass := true
+	for _, n := range sizes {
+		f := (n - 1) / 3
+		g := n - f
+		res, err := uba.ApproximateAgreement(uba.Config{
+			Correct: g, Byzantine: f, Adversary: uba.AdversarySplit, Seed: int64(n),
+		}, spreadInputs(g, 100))
+		if err != nil {
+			return nil, err
+		}
+		within := res.OutputLo >= res.InputLo && res.OutputHi <= res.InputHi
+		if !within || res.RangeRatio() > 0.5+1e-9 {
+			pass = false
+		}
+
+		iter, err := uba.IteratedApproximateAgreement(uba.Config{
+			Correct: g, Byzantine: f, Adversary: uba.AdversarySplit, Seed: int64(n),
+		}, spreadInputs(g, 100), 14)
+		if err != nil {
+			return nil, err
+		}
+		roundsToEps := -1
+		for i, r := range iter.RangePerRound {
+			if r < 0.1 {
+				roundsToEps = i + 1
+				break
+			}
+		}
+		// log2(100/0.1) ≈ 10 halvings.
+		if roundsToEps < 1 || roundsToEps > 12 {
+			pass = false
+		}
+		table.AddRow(n, f, res.RangeRatio(), within, roundsToEps)
+	}
+	// Figure: one iterated run's range trajectory vs the ideal halving
+	// curve.
+	iterFig, err := uba.IteratedApproximateAgreement(uba.Config{
+		Correct: 7, Byzantine: 2, Adversary: uba.AdversarySplit, Seed: 42,
+	}, spreadInputs(7, 100), 10)
+	if err != nil {
+		return nil, err
+	}
+	measuredSeries := Series{Name: "measured range"}
+	idealSeries := Series{Name: "ideal halving"}
+	ideal := 100.0
+	for i, r := range iterFig.RangePerRound {
+		measuredSeries.Points = append(measuredSeries.Points, Point{X: float64(i + 1), Y: r})
+		ideal /= 2
+		idealSeries.Points = append(idealSeries.Points, Point{X: float64(i + 1), Y: ideal})
+	}
+	figure := Figure{
+		Title:  "Figure E9: honest-value range per reduction round (initial range 100)",
+		XLabel: "round",
+		YLabel: "range",
+		Series: []Series{measuredSeries, idealSeries},
+	}
+	return &Outcome{
+		ID:       "E9",
+		Name:     "approximate agreement halves the range",
+		Claim:    "outputs lie within the correct input range and the range at least halves per round (Thm 4)",
+		Measured: "contraction factor ≤ 0.5 at every n; ~log2(range/ε) rounds to ε-agreement",
+		Pass:     pass,
+		Tables:   []Table{table},
+		Figures:  []Figure{figure},
+	}, nil
+}
+
+// E10ApproxVsBaseline compares the id-only rule (discard ⌊n_v/3⌋) with
+// the known-f Dolev et al. rule (discard exactly f): the Discussion
+// claims the convergence rate is unchanged.
+func E10ApproxVsBaseline(quick bool) (*Outcome, error) {
+	sizes := []int{7, 13, 25}
+	if quick {
+		sizes = []int{7}
+	}
+	table := Table{
+		Title:   "E10: contraction factor, id-only vs known-f rule (split adversary)",
+		Columns: []string{"n", "f", "id-only factor", "known-f factor"},
+	}
+	pass := true
+	for _, n := range sizes {
+		f := (n - 1) / 3
+		g := n - f
+		inputs := spreadInputs(g, 100)
+		idRes, err := uba.ApproximateAgreement(uba.Config{
+			Correct: g, Byzantine: f, Adversary: uba.AdversarySplit, Seed: int64(n),
+		}, inputs)
+		if err != nil {
+			return nil, err
+		}
+		baseFactor, err := runApproxBaseline(n, f, inputs, int64(n))
+		if err != nil {
+			return nil, err
+		}
+		if idRes.RangeRatio() > 0.5+1e-9 || baseFactor > 0.5+1e-9 {
+			pass = false
+		}
+		table.AddRow(n, f, idRes.RangeRatio(), baseFactor)
+	}
+	return &Outcome{
+		ID:       "E10",
+		Name:     "approx agreement vs known-f baseline",
+		Claim:    "the convergence rate of approximate agreement is unchanged vs the known-f original (Discussion)",
+		Measured: "both rules contract the range by a factor ≤ 0.5 per round at every n",
+		Pass:     pass,
+		Tables:   []Table{table},
+	}, nil
+}
+
+// runApproxBaseline runs the known-f rule under the same splitter attack
+// and returns the contraction factor.
+func runApproxBaseline(n, f int, inputs []float64, seed int64) (float64, error) {
+	net := simnet.New(simnet.Config{MaxRounds: 10})
+	g := len(inputs)
+	all := make([]ids.ID, 0, n)
+	for i := 1; i <= n; i++ {
+		all = append(all, ids.ID(i))
+	}
+	dir := adversary.NewDirectory(all, all[g:])
+	nodes := make([]*baseline.ApproxAgreement, 0, g)
+	correctIDs := all[:g]
+	for i, id := range correctIDs {
+		node := baseline.NewApprox(id, f, inputs[i])
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			return 0, err
+		}
+	}
+	for _, id := range all[g:] {
+		if err := net.AddByzantine(adversary.NewInputSplitter(id, dir, -1e12, 1e12)); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := net.Run(simnet.AllDone(correctIDs)); err != nil {
+		return 0, err
+	}
+	outs := make([]float64, 0, g)
+	for _, node := range nodes {
+		x, ok := node.Output()
+		if !ok {
+			return 0, fmt.Errorf("baseline approx node %v unfinished", node.ID())
+		}
+		outs = append(outs, x)
+	}
+	inLo, _ := stats.Min(inputs)
+	inHi, _ := stats.Max(inputs)
+	outLo, _ := stats.Min(outs)
+	outHi, _ := stats.Max(outs)
+	if inHi == inLo {
+		return 0, nil
+	}
+	return (outHi - outLo) / (inHi - inLo), nil
+}
+
+// E18DynamicApprox runs the iterated reduction while membership churns
+// (§8): the range of the *surviving* correct nodes must keep contracting
+// and never escape the envelope of values present in the system.
+func E18DynamicApprox(quick bool) (*Outcome, error) {
+	churns := []int{0, 1, 2}
+	if quick {
+		churns = []int{0, 1}
+	}
+	table := Table{
+		Title:   "E18: iterated approximate agreement under churn (8 founders, width 80)",
+		Columns: []string{"joins+leaves", "final spread", "within envelope", "spread < width/4"},
+	}
+	pass := true
+	for _, churn := range churns {
+		spread, within, err := runChurnApprox(churn, int64(churn+5))
+		if err != nil {
+			return nil, err
+		}
+		converged := spread < 80.0/4
+		if !within || !converged {
+			pass = false
+		}
+		table.AddRow(churn, spread, within, converged)
+	}
+	return &Outcome{
+		ID:       "E18",
+		Name:     "dynamic approximate agreement under churn",
+		Claim:    "the reduction's lemmas hold per round even as participants enter and leave, subject to n > 3f (§8)",
+		Measured: "estimates stay inside the value envelope and keep contracting at every churn level",
+		Pass:     pass,
+		Tables:   []Table{table},
+	}, nil
+}
+
+// runChurnApprox runs 10 reduction rounds over 8 founders, performing the
+// given number of join+leave pairs at round boundaries; joiners adopt
+// values inside the current envelope.
+func runChurnApprox(churn int, seed int64) (spread float64, within bool, err error) {
+	const width = 80.0
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, 8+churn)
+	net := simnet.New(simnet.Config{MaxRounds: 50})
+	live := make(map[ids.ID]*approx.Iterated)
+	const rounds = 10
+	for i, id := range all[:8] {
+		node := approx.NewIterated(id, width*float64(i)/7, rounds)
+		live[id] = node
+		if err := net.Add(node); err != nil {
+			return 0, false, err
+		}
+	}
+	run := func(k int) error {
+		for i := 0; i < k; i++ {
+			if err := net.RunRound(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(2); err != nil {
+		return 0, false, err
+	}
+	for c := 0; c < churn; c++ {
+		// One leave...
+		victim := all[c]
+		net.Remove(victim)
+		delete(live, victim)
+		// ...and one join with a mid-envelope value.
+		id := all[8+c]
+		node := approx.NewIterated(id, width/2+float64(c), rounds)
+		live[id] = node
+		if err := net.Add(node); err != nil {
+			return 0, false, err
+		}
+		if err := run(2); err != nil {
+			return 0, false, err
+		}
+	}
+	liveIDs := make([]ids.ID, 0, len(live))
+	for id := range live {
+		liveIDs = append(liveIDs, id)
+	}
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+	if _, err := net.Run(simnet.AllDone(liveIDs)); err != nil {
+		return 0, false, err
+	}
+	lo, hi := width, 0.0
+	within = true
+	for _, node := range live {
+		est := node.Estimate()
+		if est < 0 || est > width {
+			within = false
+		}
+		if est < lo {
+			lo = est
+		}
+		if est > hi {
+			hi = est
+		}
+	}
+	return hi - lo, within, nil
+}

@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uba"
+	"uba/internal/adversary"
+	"uba/internal/baseline"
+	"uba/internal/core/relbcast"
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/trace"
+)
+
+// E1ReliableBroadcast measures acceptance latency of Algorithm 1 with a
+// correct source: Lemma 1 promises acceptance in round 3 at every correct
+// node, for every n and every f < n/3.
+func E1ReliableBroadcast(quick bool) (*Outcome, error) {
+	sizes := []int{4, 7, 16, 31, 61}
+	if quick {
+		sizes = []int{4, 10}
+	}
+	table := Table{
+		Title:   "E1: reliable broadcast acceptance round (correct source)",
+		Columns: []string{"n", "f", "adversary", "accept round (min..max)", "msgs/node/round"},
+	}
+	pass := true
+	for _, n := range sizes {
+		f := (n - 1) / 3
+		for _, adv := range []uba.Adversary{uba.AdversarySilent, uba.AdversaryNoise} {
+			res, err := uba.ReliableBroadcast(uba.Config{
+				Correct: n - f, Byzantine: f, Adversary: adv, Seed: int64(n),
+			}, []byte("payload"), 6)
+			if err != nil {
+				return nil, err
+			}
+			minR, maxR := res.AcceptRounds[0], res.AcceptRounds[0]
+			for _, r := range res.AcceptRounds {
+				if r < minR {
+					minR = r
+				}
+				if r > maxR {
+					maxR = r
+				}
+			}
+			if !res.AllAccepted || maxR != 3 {
+				pass = false
+			}
+			table.AddRow(n, f, adv.String(),
+				fmt.Sprintf("%d..%d", minR, maxR),
+				res.Report.MessagesPerNodePerRound(n))
+		}
+	}
+	return &Outcome{
+		ID:       "E1",
+		Name:     "reliable broadcast latency",
+		Claim:    "with a correct source, every correct node accepts (m,s) in round 3 (Lemma 1)",
+		Measured: "acceptance in round 3 at every node across all sizes and adversaries",
+		Pass:     pass,
+		Tables:   []Table{table},
+	}, nil
+}
+
+// E2RBVsBaseline compares the id-only reliable broadcast against the
+// known-f Srikanth–Toueg construction: the Discussion section claims the
+// message complexity is unaffected by removing the knowledge of n and f.
+func E2RBVsBaseline(quick bool) (*Outcome, error) {
+	sizes := []int{4, 7, 13, 25, 49}
+	if quick {
+		sizes = []int{4, 10}
+	}
+	table := Table{
+		Title:   "E2: delivered messages per node, id-only RB vs Srikanth-Toueg (horizon 6 rounds)",
+		Columns: []string{"n", "f", "id-only msgs/node", "known-f msgs/node", "ratio"},
+	}
+	pass := true
+	for _, n := range sizes {
+		f := (n - 1) / 3
+		g := n - f
+
+		idOnly, err := uba.ReliableBroadcast(uba.Config{
+			Correct: g, Byzantine: f, Seed: int64(n),
+		}, []byte("m"), 6)
+		if err != nil {
+			return nil, err
+		}
+		idMsgs := float64(idOnly.Report.Deliveries) / float64(n)
+
+		baseMsgs, accepted, err := runSTBroadcast(n, f, 6)
+		if err != nil {
+			return nil, err
+		}
+		if !idOnly.AllAccepted || !accepted {
+			pass = false
+		}
+		ratio := 0.0
+		if baseMsgs > 0 {
+			ratio = idMsgs / baseMsgs
+		}
+		// "Unaffected" = same order: the id-only protocol pays the
+		// extra round-1 present broadcast (n extra messages per node)
+		// but stays within a small constant factor.
+		if ratio > 4 {
+			pass = false
+		}
+		table.AddRow(n, f, idMsgs, baseMsgs, ratio)
+	}
+	return &Outcome{
+		ID:       "E2",
+		Name:     "reliable broadcast vs Srikanth-Toueg",
+		Claim:    "message complexity of reliable broadcast is unaffected vs the known-n,f original (Discussion)",
+		Measured: "id-only RB stays within a small constant factor of Srikanth-Toueg at every n (overhead = the round-1 presence broadcast)",
+		Pass:     pass,
+		Tables:   []Table{table},
+	}, nil
+}
+
+// runSTBroadcast runs the known-f baseline on consecutive ids with f
+// silent Byzantine slots and returns messages/node and whether all
+// correct nodes accepted.
+func runSTBroadcast(n, f, horizon int) (float64, bool, error) {
+	collector := &trace.Collector{}
+	net := simnet.New(simnet.Config{MaxRounds: horizon + 2, Collector: collector})
+	g := n - f
+	body := []byte("m")
+	nodes := make([]*baseline.STBroadcast, 0, g)
+	for i := 1; i <= g; i++ {
+		var node *baseline.STBroadcast
+		if i == 1 {
+			node = baseline.NewSTSource(ids.ID(i), f, body)
+		} else {
+			node = baseline.NewSTRelay(ids.ID(i), f)
+		}
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			return 0, false, err
+		}
+	}
+	for i := g + 1; i <= n; i++ {
+		if err := net.AddByzantine(adversary.NewSilent(ids.ID(i))); err != nil {
+			return 0, false, err
+		}
+	}
+	for i := 0; i < horizon; i++ {
+		if err := net.RunRound(); err != nil {
+			return 0, false, err
+		}
+	}
+	accepted := true
+	for _, node := range nodes {
+		if _, ok := node.HasAccepted(1, body); !ok {
+			accepted = false
+		}
+	}
+	return float64(collector.Report().Deliveries) / float64(n), accepted, nil
+}
+
+// E3ResiliencyBoundary probes the n > 3f threshold with the forged-echo
+// coalition: unforgeability must hold exactly when n > 3f and must be
+// violable at n ≤ 3f.
+func E3ResiliencyBoundary(quick bool) (*Outcome, error) {
+	type cell struct{ n, f int }
+	grid := []cell{
+		{4, 1}, {3, 1}, {7, 2}, {6, 2}, {10, 3}, {9, 3}, {13, 4}, {12, 4},
+	}
+	if quick {
+		grid = []cell{{4, 1}, {3, 1}, {7, 2}, {6, 2}}
+	}
+	table := Table{
+		Title:   "E3: forged-echo attack outcome around the n = 3f boundary",
+		Columns: []string{"n", "f", "n > 3f", "forgery accepted", "matches theory"},
+	}
+	pass := true
+	for _, c := range grid {
+		violated, err := runForgeryAttack(c.n, c.f, int64(c.n*100+c.f))
+		if err != nil {
+			return nil, err
+		}
+		resilient := c.n > 3*c.f
+		matches := violated == !resilient
+		if !matches {
+			pass = false
+		}
+		table.AddRow(c.n, c.f, resilient, violated, matches)
+	}
+	return &Outcome{
+		ID:       "E3",
+		Name:     "resiliency boundary n > 3f",
+		Claim:    "the algorithms achieve the optimal resiliency n > 3f; at n ≤ 3f safety is violable (Thm 1, §Significance)",
+		Measured: "forged echoes rejected at every n > 3f cell and accepted at every n ≤ 3f cell",
+		Pass:     pass,
+		Tables:   []Table{table},
+	}, nil
+}
+
+// runForgeryAttack runs g = n−f relays plus f echo-amplifying Byzantine
+// nodes forging a message from a correct, silent victim; reports whether
+// any correct node accepted the forgery.
+func runForgeryAttack(n, f int, seed int64) (bool, error) {
+	rng := rand.New(rand.NewSource(seed))
+	all := ids.Sparse(rng, n)
+	g := n - f
+	victim := all[0]
+	forged := []byte("forged")
+
+	net := simnet.New(simnet.Config{MaxRounds: 60})
+	nodes := make([]*relbcast.Node, 0, g)
+	for _, id := range all[:g] {
+		node := relbcast.NewRelay(id)
+		nodes = append(nodes, node)
+		if err := net.Add(node); err != nil {
+			return false, err
+		}
+	}
+	for _, id := range all[g:] {
+		if err := net.AddByzantine(adversary.NewEchoAmplifier(id, victim, forged)); err != nil {
+			return false, err
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if err := net.RunRound(); err != nil {
+			return false, err
+		}
+	}
+	for _, node := range nodes {
+		if _, ok := node.HasAccepted(victim, forged); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

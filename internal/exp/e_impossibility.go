@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"fmt"
+
+	"uba"
+)
+
+// E13AsyncImpossibility replays the asynchronous partition construction
+// across seeds: disagreement every time, while the synchronous control
+// arm agrees every time.
+func E13AsyncImpossibility(quick bool) (*Outcome, error) {
+	return impossibilityExperiment(
+		"E13",
+		"asynchronous impossibility",
+		"in an asynchronous system with unknown n and f, consensus is impossible even with probabilistic termination (first impossibility lemma)",
+		uba.TimingAsync,
+		quick,
+	)
+}
+
+// E14SemiSyncImpossibility replays the semi-synchronous construction:
+// delays are bounded by a finite Δ the nodes do not know; the partition
+// sides still decide before hearing each other.
+func E14SemiSyncImpossibility(quick bool) (*Outcome, error) {
+	return impossibilityExperiment(
+		"E14",
+		"semi-synchronous impossibility",
+		"with delays bounded by an unknown Δ, consensus is impossible even with probabilistic termination (second impossibility lemma)",
+		uba.TimingSemiSync,
+		quick,
+	)
+}
+
+func impossibilityExperiment(id, name, claim string, model uba.TimingModel, quick bool) (*Outcome, error) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sizes := []int{3, 5, 8}
+	victims := []uba.VictimProtocol{
+		uba.VictimWaitMajority, uba.VictimWaitMin, uba.VictimDeadlineMajority,
+	}
+	if quick {
+		seeds = seeds[:3]
+		sizes = sizes[:2]
+		victims = victims[:2]
+	}
+	table := Table{
+		Title:   fmt.Sprintf("%s: %v schedule vs synchronous control, across victim protocols", id, model),
+		Columns: []string{"victim protocol", "nodes/side", "runs", "disagreements (adversarial)", "disagreements (synchronous)"},
+	}
+	pass := true
+	for _, victim := range victims {
+		for _, size := range sizes {
+			disagreeAdv, disagreeSync := 0, 0
+			for _, seed := range seeds {
+				adv, err := uba.ImpossibilityDemoAgainst(model, victim, size, seed)
+				if err != nil {
+					return nil, err
+				}
+				if !adv.Agreement {
+					disagreeAdv++
+				}
+				control, err := uba.ImpossibilityDemoAgainst(uba.TimingSynchronous, victim, size, seed)
+				if err != nil {
+					return nil, err
+				}
+				if !control.Agreement {
+					disagreeSync++
+				}
+			}
+			if disagreeAdv != len(seeds) || disagreeSync != 0 {
+				pass = false
+			}
+			table.AddRow(victim.String(), size, len(seeds), disagreeAdv, disagreeSync)
+		}
+	}
+	return &Outcome{
+		ID:       id,
+		Name:     name,
+		Claim:    claim,
+		Measured: "every victim protocol: disagreement on every adversarial schedule, agreement on every synchronous control run",
+		Pass:     pass,
+		Tables:   []Table{table},
+	}, nil
+}

@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every experiment must run in quick mode and pass its own claim check —
+// this is the repository's continuous reproduction gate.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	t.Parallel()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			outcome, err := e.Run(true)
+			if err != nil {
+				t.Fatalf("%s failed to run: %v", e.ID, err)
+			}
+			if outcome.ID != e.ID {
+				t.Fatalf("outcome id %q, want %q", outcome.ID, e.ID)
+			}
+			if !outcome.Pass {
+				var buf bytes.Buffer
+				_ = outcome.Render(&buf)
+				t.Fatalf("%s did not reproduce its claim:\n%s", e.ID, buf.String())
+			}
+			if len(outcome.Tables) == 0 || len(outcome.Tables[0].Rows) == 0 {
+				t.Fatalf("%s produced no measurements", e.ID)
+			}
+			if outcome.Claim == "" || outcome.Measured == "" {
+				t.Fatalf("%s missing claim/measured text", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	t.Parallel()
+	outcomes, err := RunAll(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(All()) {
+		t.Fatalf("RunAll returned %d outcomes, want %d", len(outcomes), len(All()))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t.Parallel()
+	table := Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+	}
+	table.AddRow(1, 2.5)
+	table.AddRow("x", 0.333333)
+
+	var text bytes.Buffer
+	if err := table.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"demo", "a", "bb", "2.5", "0.333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+
+	var md bytes.Buffer
+	if err := table.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| a | bb |") {
+		t.Fatalf("markdown header malformed:\n%s", md.String())
+	}
+	if !strings.Contains(md.String(), "| --- | --- |") {
+		t.Fatalf("markdown separator missing:\n%s", md.String())
+	}
+}
+
+func TestOutcomeRendering(t *testing.T) {
+	t.Parallel()
+	o := Outcome{
+		ID: "EX", Name: "demo", Claim: "c", Measured: "m", Pass: true,
+		Tables: []Table{{Title: "t", Columns: []string{"x"}, Rows: [][]string{{"1"}}}},
+	}
+	var buf bytes.Buffer
+	if err := o.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"EX", "PASS", "claim:", "measured:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("outcome render missing %q:\n%s", want, buf.String())
+		}
+	}
+	o.Pass = false
+	buf.Reset()
+	if err := o.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Fatal("failed outcome does not say FAIL")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {2.5, "2.5"}, {0.3333333, "0.333"}, {100, "100"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.in); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	t.Parallel()
+	fig := Figure{
+		Title:  "demo figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 1}, {2, 2}, {3, 4}}},
+			{Name: "b", Points: []Point{{1, 4}, {3, 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo figure", "x: x, y: y", "* a", "o b", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing")
+	}
+}
+
+func TestFigureEmptyAndDegenerate(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	empty := Figure{Title: "empty"}
+	if err := empty.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty figure output: %s", buf.String())
+	}
+	// A single point (degenerate ranges) must not divide by zero.
+	buf.Reset()
+	single := Figure{Title: "single", Series: []Series{{Name: "s", Points: []Point{{5, 5}}}}}
+	if err := single.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("single point not drawn:\n%s", buf.String())
+	}
+}
+
+func TestOutcomesWithFiguresRender(t *testing.T) {
+	t.Parallel()
+	o, err := E4RotorRounds(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Figures) == 0 {
+		t.Fatal("E4 lost its figure")
+	}
+	var buf bytes.Buffer
+	if err := o.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure E4") {
+		t.Fatal("figure not rendered in outcome")
+	}
+}

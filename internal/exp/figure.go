@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of points in a Figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Figure is an ASCII chart: the "figure" counterpart to Table for the
+// claims that are really about shapes (rounds growing linearly in n, a
+// range halving per round). It renders a scatter of up to three series
+// into a fixed-size character grid with axis labels.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x'}
+
+const (
+	figWidth  = 56
+	figHeight = 14
+)
+
+// Render draws the figure.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			total++
+		}
+	}
+	if total == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, figHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", figWidth))
+	}
+	for si, s := range f.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(figWidth-1)))
+			row := figHeight - 1 - int(math.Round((p.Y-minY)/(maxY-minY)*float64(figHeight-1)))
+			if col < 0 || col >= figWidth || row < 0 || row >= figHeight {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	topLabel := trimFloat(maxY)
+	botLabel := trimFloat(minY)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		case figHeight - 1:
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", figWidth)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-s%*s\n", strings.Repeat(" ", pad),
+		trimFloat(minX), figWidth-len(trimFloat(minX)), trimFloat(maxX)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(f.Series))
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "x: %s, y: %s   [%s]\n", f.XLabel, f.YLabel, strings.Join(legend, ", "))
+	return err
+}

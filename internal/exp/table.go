@@ -1,0 +1,189 @@
+// Package exp is the experiment harness: it regenerates, as tables, every
+// quantitative claim of the paper (the paper is a brief announcement with
+// no measured evaluation of its own, so its claims — round complexities,
+// message complexities, the resiliency threshold, the convergence rate,
+// the finality lag, and the impossibility results — stand in for the
+// usual tables and figures; DESIGN.md §4 defines the mapping; E19–E21 add
+// reproduction-finding ablations and an open-question probe).
+//
+// Each experiment returns an Outcome: the claim text, a rendered table of
+// measurements, a one-line measured summary, and a pass/fail verdict
+// comparing shape (who wins, what grows linearly, where the boundary
+// falls) rather than absolute constants.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a rendered measurement grid.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Columns, "\t")); err != nil {
+		return err
+	}
+	underline := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		underline[i] = strings.Repeat("-", len(c))
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(underline, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table (used to
+// regenerate EXPERIMENTS.md).
+func (t *Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outcome is one experiment's result.
+type Outcome struct {
+	// ID is the experiment identifier (E1..E21).
+	ID string
+	// Name is a short human title.
+	Name string
+	// Claim quotes the paper claim under test.
+	Claim string
+	// Measured is a one-line summary of what was observed.
+	Measured string
+	// Pass reports whether the observation matches the claim's shape.
+	Pass bool
+	// Tables are the measurement grids.
+	Tables []Table
+	// Figures are ASCII charts for the shape claims.
+	Figures []Figure
+}
+
+// Render writes the outcome in text form.
+func (o *Outcome) Render(w io.Writer) error {
+	status := "PASS"
+	if !o.Pass {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "=== %s: %s [%s]\nclaim:    %s\nmeasured: %s\n",
+		o.ID, o.Name, status, o.Claim, o.Measured); err != nil {
+		return err
+	}
+	for i := range o.Tables {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := o.Tables[i].Render(w); err != nil {
+			return err
+		}
+	}
+	for i := range o.Figures {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := o.Figures[i].Render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Experiment is a runnable experiment. quick shrinks sweep sizes for use
+// inside benchmarks and smoke tests.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(quick bool) (*Outcome, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "reliable broadcast latency", E1ReliableBroadcast},
+		{"E2", "reliable broadcast vs Srikanth-Toueg", E2RBVsBaseline},
+		{"E3", "resiliency boundary n > 3f", E3ResiliencyBoundary},
+		{"E4", "rotor-coordinator rounds are O(n)", E4RotorRounds},
+		{"E5", "rotor vs known-f trivial rotor", E5RotorVsBaseline},
+		{"E6", "consensus rounds are O(f), constant when unanimous", E6ConsensusRounds},
+		{"E7", "consensus agreement under every adversary", E7ConsensusAdversaries},
+		{"E8", "consensus vs king baseline", E8ConsensusVsKing},
+		{"E9", "approximate agreement halves the range", E9ApproxConvergence},
+		{"E10", "approx agreement vs known-f baseline", E10ApproxVsBaseline},
+		{"E11", "parallel consensus with partial awareness", E11ParallelConsensus},
+		{"E12", "total ordering under churn", E12TotalOrdering},
+		{"E13", "asynchronous impossibility", E13AsyncImpossibility},
+		{"E14", "semi-synchronous impossibility", E14SemiSyncImpossibility},
+		{"E15", "renaming rounds are O(f)", E15Renaming},
+		{"E16", "terminating reliable broadcast", E16TRB},
+		{"E17", "ablation: n_v/3 replaces f", E17ThresholdAblation},
+		{"E18", "dynamic approximate agreement under churn", E18DynamicApprox},
+		{"E19", "ablation: Algorithm 5's markers in Algorithm 3", E19MarkerAblation},
+		{"E20", "message complexity vs king baseline", E20MessageComplexity},
+		{"E21", "rotor resiliency boundary probe", E21RotorBoundary},
+	}
+}
+
+// RunAll executes every experiment and returns the outcomes.
+func RunAll(quick bool) ([]*Outcome, error) {
+	exps := All()
+	out := make([]*Outcome, 0, len(exps))
+	for _, e := range exps {
+		o, err := e.Run(quick)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package ids provides the identifier space of the id-only model.
+//
+// In the model of Khanchandani & Wattenhofer (PODC 2020), every node has a
+// unique identifier that is not necessarily consecutive, and a node knows
+// only its own identifier at initialization — not n, not f, and not the
+// identifiers of the other nodes. This package supplies the identifier
+// type, sparse (non-consecutive) identifier generation for experiments,
+// and an ordered identifier set as required by the rotor-coordinator
+// (candidate sets ordered by increasing identifier) and by Byzantine
+// renaming (new name = rank in the final set).
+package ids
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ID is a node identifier. Identifiers are unique but non-consecutive;
+// the zero value is reserved as "no node" and is never assigned.
+type ID uint64
+
+// None is the reserved zero identifier, used to mean "no node" (for
+// example, "no coordinator selected yet").
+const None ID = 0
+
+// String formats the identifier for logs and test failure messages.
+func (id ID) String() string {
+	if id == None {
+		return "id(none)"
+	}
+	return fmt.Sprintf("id(%d)", uint64(id))
+}
+
+// Sparse returns count unique identifiers drawn from a sparse space, in
+// increasing order. The identifiers are deliberately non-consecutive:
+// consecutive identifiers would trivialize the rotor-coordinator (a node
+// could guess the next identifier), which is exactly the assumption the
+// paper removes. The generator is deterministic in rng so experiments are
+// reproducible.
+func Sparse(rng *rand.Rand, count int) []ID {
+	if count <= 0 {
+		return nil
+	}
+	seen := make(map[ID]struct{}, count)
+	out := make([]ID, 0, count)
+	for len(out) < count {
+		// Wide gaps: ids land anywhere in [1, 2^48), so runs of
+		// consecutive values are vanishingly unlikely and the id
+		// space gives no hint about n.
+		candidate := ID(rng.Int63n(1<<48-1) + 1)
+		if _, dup := seen[candidate]; dup {
+			continue
+		}
+		seen[candidate] = struct{}{}
+		out = append(out, candidate)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Consecutive returns count consecutive identifiers starting at start.
+// The classic baselines (king algorithm, trivial rotor) assume consecutive
+// identifiers; this constructor exists for them and for tests that need
+// predictable ids.
+func Consecutive(start ID, count int) []ID {
+	if count <= 0 {
+		return nil
+	}
+	out := make([]ID, count)
+	for i := range out {
+		out[i] = start + ID(i)
+	}
+	return out
+}
+
+// Set is an ordered set of identifiers, maintained in increasing order.
+// The zero value is an empty set ready to use.
+//
+// The rotor-coordinator indexes its candidate set by position
+// (C_v[r mod |C_v|]) and renaming outputs a node's rank in the final set,
+// so ordered positional access is part of the contract.
+type Set struct {
+	members []ID
+}
+
+// NewSet returns a set containing the given identifiers.
+func NewSet(members ...ID) *Set {
+	s := &Set{}
+	for _, id := range members {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id, keeping the set ordered. It reports whether the id was
+// newly added (false if it was already present).
+func (s *Set) Add(id ID) bool {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
+	if i < len(s.members) && s.members[i] == id {
+		return false
+	}
+	s.members = append(s.members, 0)
+	copy(s.members[i+1:], s.members[i:])
+	s.members[i] = id
+	return true
+}
+
+// Remove deletes id from the set. It reports whether the id was present.
+func (s *Set) Remove(id ID) bool {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
+	if i >= len(s.members) || s.members[i] != id {
+		return false
+	}
+	s.members = append(s.members[:i], s.members[i+1:]...)
+	return true
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id ID) bool {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
+	return i < len(s.members) && s.members[i] == id
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return len(s.members) }
+
+// At returns the i-th smallest member. It panics if i is out of range,
+// mirroring slice indexing; callers index with r mod Len() and therefore
+// stay in range by construction.
+func (s *Set) At(i int) ID { return s.members[i] }
+
+// Rank returns the 0-based rank of id in the set and whether it is a
+// member. Renaming assigns new identifier rank+1.
+func (s *Set) Rank(id ID) (int, bool) {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
+	if i < len(s.members) && s.members[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// Members returns a copy of the members in increasing order.
+func (s *Set) Members() []ID {
+	out := make([]ID, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{members: s.Members()}
+}
+
+// Equal reports whether two sets have identical membership.
+func (s *Set) Equal(other *Set) bool {
+	if len(s.members) != len(other.members) {
+		return false
+	}
+	for i, id := range s.members {
+		if other.members[i] != id {
+			return false
+		}
+	}
+	return true
+}

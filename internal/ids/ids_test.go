@@ -1,0 +1,238 @@
+package ids
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseProducesUniqueSortedIDs(t *testing.T) {
+	t.Parallel()
+	for _, count := range []int{0, 1, 2, 7, 64, 1000} {
+		rng := rand.New(rand.NewSource(42))
+		got := Sparse(rng, count)
+		if len(got) != count {
+			t.Fatalf("Sparse(%d): got %d ids", count, len(got))
+		}
+		seen := make(map[ID]struct{}, count)
+		for i, id := range got {
+			if id == None {
+				t.Fatalf("Sparse produced the reserved zero id at %d", i)
+			}
+			if _, dup := seen[id]; dup {
+				t.Fatalf("Sparse produced duplicate id %v", id)
+			}
+			seen[id] = struct{}{}
+			if i > 0 && got[i-1] >= id {
+				t.Fatalf("Sparse not sorted at %d: %v >= %v", i, got[i-1], id)
+			}
+		}
+	}
+}
+
+func TestSparseIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
+	a := Sparse(rand.New(rand.NewSource(7)), 50)
+	b := Sparse(rand.New(rand.NewSource(7)), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Sparse(rand.New(rand.NewSource(8)), 50)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical id sequences")
+	}
+}
+
+func TestSparseIDsAreNonConsecutive(t *testing.T) {
+	t.Parallel()
+	// The point of the sparse generator is that ids carry no positional
+	// information. With a 2^48 space and ≤ 10^3 ids, any adjacent pair
+	// being consecutive indicates a generator bug.
+	got := Sparse(rand.New(rand.NewSource(3)), 1000)
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1]+1 {
+			t.Fatalf("consecutive ids at %d: %v, %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestConsecutive(t *testing.T) {
+	t.Parallel()
+	got := Consecutive(10, 4)
+	want := []ID{10, 11, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if Consecutive(1, 0) != nil {
+		t.Fatal("Consecutive(_, 0) should be nil")
+	}
+}
+
+func TestSetAddRemoveContains(t *testing.T) {
+	t.Parallel()
+	s := NewSet()
+	if s.Len() != 0 {
+		t.Fatalf("new set has %d members", s.Len())
+	}
+	if !s.Add(5) || !s.Add(3) || !s.Add(9) {
+		t.Fatal("Add of new members returned false")
+	}
+	if s.Add(5) {
+		t.Fatal("Add of existing member returned true")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i, want := range []ID{3, 5, 9} {
+		if s.At(i) != want {
+			t.Fatalf("At(%d) = %v, want %v", i, s.At(i), want)
+		}
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if !s.Remove(5) {
+		t.Fatal("Remove of member returned false")
+	}
+	if s.Remove(5) {
+		t.Fatal("Remove of non-member returned true")
+	}
+	if s.Contains(5) || s.Len() != 2 {
+		t.Fatal("Remove did not remove")
+	}
+}
+
+func TestSetRank(t *testing.T) {
+	t.Parallel()
+	s := NewSet(100, 7, 55)
+	tests := []struct {
+		id     ID
+		rank   int
+		member bool
+	}{
+		{7, 0, true},
+		{55, 1, true},
+		{100, 2, true},
+		{8, 0, false},
+	}
+	for _, tt := range tests {
+		rank, ok := s.Rank(tt.id)
+		if ok != tt.member || (ok && rank != tt.rank) {
+			t.Errorf("Rank(%v) = (%d, %v), want (%d, %v)",
+				tt.id, rank, ok, tt.rank, tt.member)
+		}
+	}
+}
+
+func TestSetCloneIsIndependent(t *testing.T) {
+	t.Parallel()
+	s := NewSet(1, 2, 3)
+	c := s.Clone()
+	c.Add(4)
+	if s.Contains(4) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !s.Equal(NewSet(3, 2, 1)) {
+		t.Fatal("Equal should ignore insertion order")
+	}
+	if s.Equal(c) {
+		t.Fatal("sets with different membership compare equal")
+	}
+}
+
+func TestSetMembersCopy(t *testing.T) {
+	t.Parallel()
+	s := NewSet(2, 1)
+	m := s.Members()
+	m[0] = 99
+	if s.Contains(99) {
+		t.Fatal("Members leaked internal slice")
+	}
+}
+
+// Property: a Set built from any id slice has sorted unique members that
+// match the input's distinct values exactly.
+func TestSetMatchesReferenceModel(t *testing.T) {
+	t.Parallel()
+	prop := func(raw []uint64) bool {
+		s := NewSet()
+		ref := make(map[ID]struct{})
+		for _, r := range raw {
+			id := ID(r%1000 + 1)
+			s.Add(id)
+			ref[id] = struct{}{}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		members := s.Members()
+		if !sort.SliceIsSorted(members, func(i, j int) bool { return members[i] < members[j] }) {
+			return false
+		}
+		for _, id := range members {
+			if _, ok := ref[id]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved adds and removes agree with a map-based model.
+func TestSetAddRemoveAgainstModel(t *testing.T) {
+	t.Parallel()
+	prop := func(ops []uint16) bool {
+		s := NewSet()
+		ref := make(map[ID]struct{})
+		for _, op := range ops {
+			id := ID(op%64 + 1)
+			if op%2 == 0 {
+				added := s.Add(id)
+				_, existed := ref[id]
+				if added == existed {
+					return false
+				}
+				ref[id] = struct{}{}
+			} else {
+				removed := s.Remove(id)
+				_, existed := ref[id]
+				if removed != existed {
+					return false
+				}
+				delete(ref, id)
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDString(t *testing.T) {
+	t.Parallel()
+	if None.String() != "id(none)" {
+		t.Fatalf("None.String() = %q", None.String())
+	}
+	if ID(7).String() != "id(7)" {
+		t.Fatalf("ID(7).String() = %q", ID(7).String())
+	}
+}

@@ -1,0 +1,365 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"uba/internal/ids"
+	"uba/internal/trace"
+)
+
+// Errors returned by the network.
+var (
+	// ErrMaxRounds reports that Run's stop predicate was not satisfied
+	// within Config.MaxRounds rounds.
+	ErrMaxRounds = errors.New("simnet: round limit exceeded")
+	// ErrDuplicateID reports an attempt to register two processes with
+	// the same identifier.
+	ErrDuplicateID = errors.New("simnet: duplicate process id")
+	// ErrContactRule reports a unicast from a correct process to a node
+	// that never messaged it, which the paper's model forbids.
+	ErrContactRule = errors.New("simnet: unicast to unknown contact")
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// MaxRounds bounds Run; 0 means DefaultMaxRounds. Protocols in this
+	// repository terminate in O(n) rounds, so the bound exists only to
+	// turn a protocol bug into a test failure instead of a hang.
+	MaxRounds int
+	// Concurrent selects the goroutine-per-node runner instead of the
+	// sequential one. Both produce identical executions.
+	Concurrent bool
+	// EnforceContactRule makes the engine verify that correct processes
+	// unicast only to nodes that previously messaged them. Violations
+	// surface as an error from Run.
+	EnforceContactRule bool
+	// Collector, when non-nil, receives traffic accounting.
+	Collector *trace.Collector
+	// EventLog, when non-nil, records a message-level transcript of
+	// every delivery (for debugging and the ubasim -trace flag).
+	EventLog *trace.EventLog
+}
+
+// DefaultMaxRounds is the Run bound used when Config.MaxRounds is zero.
+const DefaultMaxRounds = 10_000
+
+type procState struct {
+	proc      Process
+	byzantine bool
+	inbox     []Received
+	// contacts is the set of nodes that have delivered a message to
+	// this process, used for the contact rule.
+	contacts map[ids.ID]struct{}
+}
+
+// Network owns a set of processes and runs them in lock-step rounds.
+// Methods are not safe for concurrent use; drive a Network from one
+// goroutine (the concurrent runner parallelizes internally).
+type Network struct {
+	cfg   Config
+	procs map[ids.ID]*procState
+	order []ids.ID // live process ids, sorted ascending
+	round int
+	err   error
+}
+
+// New returns an empty network.
+func New(cfg Config) *Network {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	return &Network{
+		cfg:   cfg,
+		procs: make(map[ids.ID]*procState),
+	}
+}
+
+// Add registers a correct process. It must be called before the first
+// round or between rounds (a node joining a dynamic network joins at a
+// round boundary, per the paper's dynamic model).
+func (n *Network) Add(p Process) error { return n.add(p, false) }
+
+// AddByzantine registers a Byzantine process. Byzantine processes are
+// exempt from the contact rule: the paper allows a Byzantine node to
+// behave as if it already knows all the nodes.
+func (n *Network) AddByzantine(p Process) error { return n.add(p, true) }
+
+func (n *Network) add(p Process, byzantine bool) error {
+	id := p.ID()
+	if id == ids.None {
+		return fmt.Errorf("simnet: process id must be nonzero")
+	}
+	if _, exists := n.procs[id]; exists {
+		return fmt.Errorf("%w: %v", ErrDuplicateID, id)
+	}
+	n.procs[id] = &procState{
+		proc:      p,
+		byzantine: byzantine,
+		contacts:  make(map[ids.ID]struct{}),
+	}
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
+	n.order = append(n.order, 0)
+	copy(n.order[i+1:], n.order[i:])
+	n.order[i] = id
+	return nil
+}
+
+// Remove detaches a process from the network (a node that has left a
+// dynamic network). Pending messages to it are dropped.
+func (n *Network) Remove(id ids.ID) {
+	if _, ok := n.procs[id]; !ok {
+		return
+	}
+	delete(n.procs, id)
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
+	if i < len(n.order) && n.order[i] == id {
+		n.order = append(n.order[:i], n.order[i+1:]...)
+	}
+}
+
+// Round returns the number of rounds executed so far.
+func (n *Network) Round() int { return n.round }
+
+// Size returns the number of registered (not yet removed) processes.
+func (n *Network) Size() int { return len(n.order) }
+
+// IDs returns the live process ids in ascending order.
+func (n *Network) IDs() []ids.ID {
+	out := make([]ids.ID, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Process returns the registered process with the given id, or nil.
+func (n *Network) Process(id ids.ID) Process {
+	st, ok := n.procs[id]
+	if !ok {
+		return nil
+	}
+	return st.proc
+}
+
+// RunRound executes exactly one round: step every live, non-done process
+// with its inbox, then route the produced messages for delivery at the
+// start of the next round.
+func (n *Network) RunRound() error {
+	if n.err != nil {
+		return n.err
+	}
+	n.round++
+	if n.cfg.Collector != nil {
+		n.cfg.Collector.BeginRound(n.round)
+	}
+
+	var outs []send
+	var err error
+	if n.cfg.Concurrent {
+		outs, err = n.stepConcurrent()
+	} else {
+		outs, err = n.stepSequential()
+	}
+	if err != nil {
+		n.err = err
+		return err
+	}
+	n.route(outs)
+	return nil
+}
+
+func (n *Network) stepSequential() ([]send, error) {
+	var outs []send
+	for _, id := range n.order {
+		st := n.procs[id]
+		sends, err := n.stepOne(st)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, sends...)
+	}
+	return outs, nil
+}
+
+func (n *Network) stepConcurrent() ([]send, error) {
+	type result struct {
+		idx   int
+		sends []send
+		err   error
+	}
+	live := make([]*procState, len(n.order))
+	for i, id := range n.order {
+		live[i] = n.procs[id]
+	}
+	results := make([]result, len(live))
+	var wg sync.WaitGroup
+	for i, st := range live {
+		wg.Add(1)
+		go func(i int, st *procState) {
+			defer wg.Done()
+			sends, err := n.stepOne(st)
+			results[i] = result{idx: i, sends: sends, err: err}
+		}(i, st)
+	}
+	wg.Wait()
+	var outs []send
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		outs = append(outs, res.sends...)
+	}
+	return outs, nil
+}
+
+// stepOne steps a single process with its pending inbox. It is safe to
+// call concurrently for distinct processes: it touches only st and the
+// immutable parts of n.
+func (n *Network) stepOne(st *procState) ([]send, error) {
+	inbox := st.inbox
+	st.inbox = nil
+	if st.proc.Done() {
+		return nil, nil
+	}
+	env := &RoundEnv{
+		Round: n.round,
+		Inbox: inbox,
+		self:  st.proc.ID(),
+	}
+	st.proc.Step(env)
+	if n.cfg.Collector != nil {
+		for range env.sends {
+			n.cfg.Collector.RecordSend()
+		}
+	}
+	if n.cfg.EnforceContactRule && !st.byzantine {
+		for _, s := range env.sends {
+			if s.to == ids.None {
+				continue
+			}
+			if _, known := st.contacts[s.to]; !known {
+				return nil, fmt.Errorf("%w: %v -> %v in round %d",
+					ErrContactRule, s.from, s.to, n.round)
+			}
+		}
+	}
+	return env.sends, nil
+}
+
+// route fans out and filters the round's sends into next-round inboxes.
+func (n *Network) route(outs []send) {
+	// Deterministic processing order regardless of runner: sort by
+	// (from, to, encoding). Duplicate filtering below makes delivery
+	// content identical either way; sorting fixes inbox order exactly.
+	sort.Slice(outs, func(i, j int) bool {
+		a, b := outs[i], outs[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.encoded < b.encoded
+	})
+
+	type dupKey struct {
+		from    ids.ID
+		encoded string
+	}
+	seen := make(map[ids.ID]map[dupKey]struct{})
+	deliver := func(to ids.ID, s send) {
+		st, ok := n.procs[to]
+		if !ok || st.proc.Done() {
+			return
+		}
+		byReceiver := seen[to]
+		if byReceiver == nil {
+			byReceiver = make(map[dupKey]struct{})
+			seen[to] = byReceiver
+		}
+		key := dupKey{from: s.from, encoded: s.encoded}
+		if _, dup := byReceiver[key]; dup {
+			// Duplicate from the same node in one round: discarded
+			// by the model.
+			return
+		}
+		byReceiver[key] = struct{}{}
+		st.inbox = append(st.inbox, Received{
+			From:    s.from,
+			Payload: s.payload,
+			encoded: s.encoded,
+		})
+		st.contacts[s.from] = struct{}{}
+		if n.cfg.Collector != nil {
+			n.cfg.Collector.RecordDelivery(len(s.encoded))
+		}
+		if n.cfg.EventLog != nil {
+			n.cfg.EventLog.Record(trace.Event{
+				Round:     n.round + 1, // delivered at the start of the next round
+				From:      uint64(s.from),
+				To:        uint64(to),
+				Kind:      s.payload.Kind().String(),
+				Size:      len(s.encoded),
+				Broadcast: s.to == ids.None,
+			})
+		}
+	}
+
+	for _, s := range outs {
+		if s.to != ids.None {
+			deliver(s.to, s)
+			continue
+		}
+		for _, id := range n.order {
+			deliver(id, s)
+		}
+	}
+
+	// Inboxes were appended in sorted send order, so they are already
+	// sorted by (from, encoding); fix the order explicitly anyway to
+	// keep the invariant independent of routing details.
+	for _, id := range n.order {
+		st := n.procs[id]
+		sort.Slice(st.inbox, func(i, j int) bool {
+			a, b := st.inbox[i], st.inbox[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.encoded < b.encoded
+		})
+	}
+}
+
+// Run executes rounds until stop returns true (checked after every round)
+// or the round limit is reached, and returns the number of rounds run.
+func (n *Network) Run(stop func(*Network) bool) (int, error) {
+	start := n.round
+	for n.round-start < n.cfg.MaxRounds {
+		if err := n.RunRound(); err != nil {
+			return n.round - start, err
+		}
+		if stop(n) {
+			return n.round - start, nil
+		}
+	}
+	return n.round - start, fmt.Errorf("%w (%d rounds)", ErrMaxRounds, n.cfg.MaxRounds)
+}
+
+// AllDone returns a stop predicate that is satisfied when every process
+// with one of the given ids reports Done. Use it to wait for the correct
+// nodes while Byzantine processes keep running.
+func AllDone(waitFor []ids.ID) func(*Network) bool {
+	return func(n *Network) bool {
+		for _, id := range waitFor {
+			st, ok := n.procs[id]
+			if !ok {
+				continue // removed processes count as finished
+			}
+			if !st.proc.Done() {
+				return false
+			}
+		}
+		return true
+	}
+}

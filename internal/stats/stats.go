@@ -1,0 +1,159 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to turn raw simulator measurements into the quantities the
+// paper's claims are stated in: summary statistics over seeds, and a
+// least-squares linear fit used to check asymptotic shapes (rounds growing
+// linearly in n for the rotor-coordinator, linearly in f for consensus).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	mean, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank on a sorted copy.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0], nil
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1], nil
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with its coefficient
+// of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits a least-squares line through (xs[i], ys[i]). The harness
+// uses it to verify complexity orders: a claim "rounds = O(n)" passes when
+// rounds-vs-n fits a line with high R² and the quadratic residual is
+// negligible, and a claim "constant" passes when the slope is ~0.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		return Fit{}, errors.New("stats: need at least two points")
+	}
+	n := float64(len(xs))
+	var sumX, sumY, sumXY, sumXX float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXY += xs[i] * ys[i]
+		sumXX += xs[i] * xs[i]
+	}
+	denom := n*sumXX - sumX*sumX
+	if denom == 0 {
+		return Fit{}, errors.New("stats: degenerate x values")
+	}
+	slope := (n*sumXY - sumX*sumY) / denom
+	intercept := (sumY - slope*sumX) / n
+
+	meanY := sumY / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Summary bundles the statistics the experiment tables print per cell.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+	P95    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mean, _ := Mean(xs)
+	minV, _ := Min(xs)
+	maxV, _ := Max(xs)
+	sd, _ := StdDev(xs)
+	p95, _ := Percentile(xs, 95)
+	return Summary{N: len(xs), Mean: mean, Min: minV, Max: maxV, StdDev: sd, P95: p95}, nil
+}

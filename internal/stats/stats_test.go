@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanMinMax(t *testing.T) {
+	t.Parallel()
+	xs := []float64{3, 1, 4, 1, 5}
+	if m, err := Mean(xs); err != nil || !almostEqual(m, 2.8) {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	if m, err := Min(xs); err != nil || m != 1 {
+		t.Fatalf("Min = %v, %v", m, err)
+	}
+	if m, err := Max(xs); err != nil || m != 5 {
+		t.Fatalf("Max = %v, %v", m, err)
+	}
+}
+
+func TestEmptySampleErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Mean(nil) err = %v", err)
+	}
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Min(nil) err = %v", err)
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Max(nil) err = %v", err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("StdDev(nil) err = %v", err)
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Percentile(nil) err = %v", err)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Summarize(nil) err = %v", err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	t.Parallel()
+	if sd, err := StdDev([]float64{2, 2, 2}); err != nil || sd != 0 {
+		t.Fatalf("StdDev constant = %v, %v", sd, err)
+	}
+	sd, err := StdDev([]float64{1, 3})
+	if err != nil || !almostEqual(sd, 1) {
+		t.Fatalf("StdDev{1,3} = %v, %v", sd, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	t.Parallel()
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {10, 10}, {50, 50}, {95, 100}, {100, 100},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil || got != tt.want {
+			t.Errorf("Percentile(%v) = %v (%v), want %v", tt.p, got, err, tt.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("negative percentile accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("percentile > 100 accepted")
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2) || !almostEqual(fit.Intercept, 1) || !almostEqual(fit.R2, 1) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1 R² 1", fit)
+	}
+}
+
+func TestLinearFitConstantData(t *testing.T) {
+	t.Parallel()
+	fit, err := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0) || !almostEqual(fit.Intercept, 4) {
+		t.Fatalf("fit = %+v, want flat line at 4", fit)
+	}
+	if fit.R2 != 1 {
+		t.Fatalf("R² of perfect flat fit = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("degenerate x values accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || !almostEqual(s.Mean, 2.5) || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P95 != 4 {
+		t.Fatalf("P95 = %v, want 4", s.P95)
+	}
+}
+
+// Property: Min ≤ Mean ≤ Max and Min ≤ P95 ≤ Max for any non-empty sample.
+func TestSummaryOrderingProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P95 && s.P95 <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fitting data generated from a known line recovers it.
+func TestLinearFitRecoversLineProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(slopeRaw, interceptRaw int8) bool {
+		slope := float64(slopeRaw) / 4
+		intercept := float64(interceptRaw)
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+			ys[i] = slope*xs[i] + intercept
+		}
+		fit, err := LinearFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Slope, slope) && almostEqual(fit.Intercept, intercept)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

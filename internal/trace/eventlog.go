@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one delivered message in a recorded transcript.
+type Event struct {
+	// Round is the round the message was delivered in (i.e. it was
+	// sent in Round-1).
+	Round int
+	// From and To are the sender and receiver ids.
+	From, To uint64
+	// Kind is the payload kind name.
+	Kind string
+	// Size is the encoded payload size in bytes.
+	Size int
+	// Broadcast marks deliveries that were part of a broadcast fan-out.
+	Broadcast bool
+}
+
+// EventLog records a message-level transcript of a run — the debugging
+// view of an execution: who delivered what to whom, round by round. It
+// is safe for concurrent use (the concurrent runner records from many
+// goroutines). A capacity bound keeps adversarial message floods from
+// exhausting memory; when it is hit, further events are counted but not
+// stored.
+type EventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int
+}
+
+// NewEventLog returns a transcript recorder holding at most capacity
+// events (0 means DefaultEventCapacity).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{cap: capacity}
+}
+
+// DefaultEventCapacity bounds a transcript when no capacity is given.
+const DefaultEventCapacity = 100_000
+
+// Record appends one event.
+func (l *EventLog) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the recorded events in delivery order.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Dropped reports how many events exceeded the capacity.
+func (l *EventLog) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Render writes the transcript grouped by round, up to maxRounds rounds
+// (0 = all). Broadcast fan-outs are collapsed into one line per
+// (round, sender, kind) with a receiver count, which is what a human
+// debugging a quorum protocol actually wants to read.
+func (l *EventLog) Render(w io.Writer, maxRounds int) error {
+	events := l.Events()
+	type groupKey struct {
+		round int
+		from  uint64
+		kind  string
+	}
+	type group struct {
+		key       groupKey
+		receivers int
+		bytes     int
+		broadcast bool
+		firstTo   uint64
+	}
+	var order []groupKey
+	groups := make(map[groupKey]*group)
+	lastRound := 0
+	for _, e := range events {
+		if maxRounds > 0 && e.Round > maxRounds {
+			break
+		}
+		lastRound = e.Round
+		k := groupKey{round: e.Round, from: e.From, kind: e.Kind}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: k, firstTo: e.To, broadcast: e.Broadcast}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.receivers++
+		g.bytes += e.Size
+	}
+	currentRound := -1
+	for _, k := range order {
+		g := groups[k]
+		if k.round != currentRound {
+			currentRound = k.round
+			if _, err := fmt.Fprintf(w, "--- round %d ---\n", currentRound); err != nil {
+				return err
+			}
+		}
+		if g.broadcast || g.receivers > 1 {
+			if _, err := fmt.Fprintf(w, "  %d =>(all:%d) %-18s %dB\n",
+				k.from, g.receivers, k.kind, g.bytes); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %d -> %d %-18s %dB\n",
+			k.from, g.firstTo, k.kind, g.bytes); err != nil {
+			return err
+		}
+	}
+	if maxRounds == 0 || lastRound <= maxRounds {
+		if d := l.Dropped(); d > 0 {
+			if _, err := fmt.Fprintf(w, "(+%d events beyond capacity)\n", d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Package trace collects execution metrics from simulator runs.
+//
+// The paper argues (Discussion section) that dropping the knowledge of n
+// and f leaves the usual complexity metrics — round complexity and message
+// complexity — essentially unchanged relative to the classic algorithms.
+// The experiment harness verifies this quantitatively, so the simulator
+// reports, per run: rounds executed, send operations, delivered messages,
+// and delivered bytes, with a per-round breakdown for latency histograms.
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RoundStats aggregates traffic observed in a single round.
+type RoundStats struct {
+	// Round is the 1-based round number.
+	Round int
+	// Sends counts send operations performed by processes (a broadcast
+	// is one send operation).
+	Sends int64
+	// Deliveries counts point-to-point deliveries after fan-out and
+	// duplicate filtering (a broadcast to n live nodes is n deliveries);
+	// this is the conventional "message complexity" unit.
+	Deliveries int64
+	// Bytes counts encoded payload bytes across deliveries.
+	Bytes int64
+}
+
+// Report summarizes a complete run.
+type Report struct {
+	// Rounds is the number of rounds the network executed.
+	Rounds int
+	// Sends, Deliveries and Bytes are totals over all rounds.
+	Sends      int64
+	Deliveries int64
+	Bytes      int64
+	// PerRound has one entry per executed round, in order.
+	PerRound []RoundStats
+}
+
+// MessagesPerNodePerRound returns Deliveries normalized by nodes·rounds,
+// the unit used for cross-n comparisons in the experiment tables.
+func (r Report) MessagesPerNodePerRound(nodes int) float64 {
+	if nodes <= 0 || r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.Deliveries) / float64(nodes) / float64(r.Rounds)
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("rounds=%d sends=%d deliveries=%d bytes=%d",
+		r.Rounds, r.Sends, r.Deliveries, r.Bytes)
+}
+
+// Collector accumulates a Report. It is safe for concurrent use so the
+// goroutine-per-node runner can record sends without extra coordination.
+// The zero value is ready to use.
+type Collector struct {
+	mu     sync.Mutex
+	report Report
+}
+
+// BeginRound opens accounting for round (1-based).
+func (c *Collector) BeginRound(round int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Rounds = round
+	c.report.PerRound = append(c.report.PerRound, RoundStats{Round: round})
+}
+
+func (c *Collector) current() *RoundStats {
+	// Callers hold c.mu.
+	if len(c.report.PerRound) == 0 {
+		c.report.PerRound = append(c.report.PerRound, RoundStats{Round: 1})
+		c.report.Rounds = 1
+	}
+	return &c.report.PerRound[len(c.report.PerRound)-1]
+}
+
+// RecordSend notes one send operation.
+func (c *Collector) RecordSend() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.current().Sends++
+	c.report.Sends++
+}
+
+// RecordDelivery notes one delivered message of the given encoded size.
+func (c *Collector) RecordDelivery(bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.current()
+	cur.Deliveries++
+	cur.Bytes += int64(bytes)
+	c.report.Deliveries++
+	c.report.Bytes += int64(bytes)
+}
+
+// Report returns a copy of the accumulated report.
+func (c *Collector) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.report
+	out.PerRound = make([]RoundStats, len(c.report.PerRound))
+	copy(out.PerRound, c.report.PerRound)
+	return out
+}

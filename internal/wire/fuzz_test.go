@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder is total: arbitrary bytes either decode
+// to a payload whose re-encoding round-trips, or return an error — never
+// a panic. The simulator decodes nothing from untrusted sources (payload
+// values flow in-process), but the wire format is part of the public
+// surface of a release, so it must be hostile-input safe.
+func FuzzDecode(f *testing.F) {
+	for _, p := range allPayloadSamples() {
+		f.Add(Encode(p))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add(bytes.Repeat([]byte{0x03}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := Encode(p)
+		round, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed for %#v: %v", p, err)
+		}
+		if !payloadEqual(p, round) {
+			t.Fatalf("unstable round trip: %#v vs %#v", p, round)
+		}
+	})
+}
+
+// FuzzValueOrdering asserts Less is a strict weak ordering and Equal is
+// consistent with it for arbitrary bit patterns.
+func FuzzValueOrdering(f *testing.F) {
+	f.Add(uint64(0), uint64(1), false, false)
+	f.Add(^uint64(0), uint64(1<<63), true, false)
+	f.Fuzz(func(t *testing.T, aBits, bBits uint64, aBot, bBot bool) {
+		a := valueFromBits(aBits, aBot)
+		b := valueFromBits(bBits, bBot)
+		if a.Less(b) && b.Less(a) {
+			t.Fatalf("both %v < %v and %v < %v", a, b, b, a)
+		}
+		if a.Equal(b) && (a.Less(b) || b.Less(a)) {
+			t.Fatalf("equal values compare unequal: %v, %v", a, b)
+		}
+		if !a.Equal(b) && !a.Less(b) && !b.Less(a) {
+			t.Fatalf("unequal values mutually not-less: %v, %v", a, b)
+		}
+		if a.Equal(b) != (a.Key() == b.Key()) {
+			t.Fatalf("Key/Equal inconsistent for %v, %v", a, b)
+		}
+	})
+}
+
+func valueFromBits(bits uint64, bot bool) Value {
+	if bot {
+		return Bot()
+	}
+	return V(float64FromBits(bits))
+}

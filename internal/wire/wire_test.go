@@ -1,0 +1,233 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uba/internal/ids"
+)
+
+func allPayloadSamples() []Payload {
+	return []Payload{
+		Present{},
+		Init{},
+		Absent{},
+		RBMessage{Source: 42, Body: []byte("hello")},
+		RBMessage{Source: 1, Body: nil},
+		RBEcho{Source: 42, Body: []byte("hello")},
+		RBEcho{Source: 7, Body: []byte{}},
+		IDEcho{Instance: 0, Candidate: 99},
+		IDEcho{Instance: 12, Candidate: 1},
+		Opinion{Instance: 3, X: V(1.5)},
+		Opinion{Instance: 0, X: Bot()},
+		Input{Instance: 0, X: V(0)},
+		Input{Instance: 8, X: V(-3.25)},
+		Prefer{Instance: 1, X: V(math.Pi)},
+		Prefer{Instance: 0, X: Bot()},
+		StrongPrefer{Instance: 2, X: V(1)},
+		StrongPrefer{Instance: 2, X: Bot()},
+		NoPreference{Instance: 4},
+		NoStrongPreference{Instance: 4},
+		Ack{Round: 17},
+		Event{Round: 3, Body: []byte("tx: a->b")},
+		Event{Round: 0, Body: nil},
+		Terminate{Round: 12},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	for _, p := range allPayloadSamples() {
+		enc := Encode(p)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%#v)): %v", p, err)
+		}
+		// Normalize nil vs empty byte slices before comparing.
+		if !payloadEqual(got, p) {
+			t.Fatalf("round trip: got %#v, want %#v", got, p)
+		}
+	}
+}
+
+// payloadEqual compares payloads by their canonical encoding, which is
+// the simulator's own notion of identity (it also treats nil and empty
+// bodies alike, and NaN opinion bit patterns exactly).
+func payloadEqual(a, b Payload) bool {
+	return bytes.Equal(Encode(a), Encode(b))
+}
+
+func TestEncodeIsCanonical(t *testing.T) {
+	t.Parallel()
+	// Same payload must encode to identical bytes every time: the
+	// engine's duplicate filter depends on it.
+	for _, p := range allPayloadSamples() {
+		if !bytes.Equal(Encode(p), Encode(p)) {
+			t.Fatalf("non-deterministic encoding for %#v", p)
+		}
+	}
+}
+
+func TestDistinctPayloadsEncodeDistinctly(t *testing.T) {
+	t.Parallel()
+	samples := allPayloadSamples()
+	seen := make(map[string]Payload, len(samples))
+	for _, p := range samples {
+		key := string(Encode(p))
+		if prev, dup := seen[key]; dup && !payloadEqual(prev, p) {
+			t.Fatalf("payloads %#v and %#v share encoding", prev, p)
+		}
+		seen[key] = p
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{0xFF}},
+		{"zero kind", []byte{0x00}},
+		{"truncated input", Encode(Input{X: V(1)})[:3]},
+		{"truncated rb body", Encode(RBMessage{Source: 1, Body: []byte("abcdef")})[:10]},
+		{"trailing bytes", append(Encode(Present{}), 0x01)},
+		{"truncated ack", []byte{byte(KindAck), 1, 2}},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Decode(tt.data); err == nil {
+				t.Fatalf("Decode(%x) succeeded, want error", tt.data)
+			}
+		})
+	}
+}
+
+func TestValueSemantics(t *testing.T) {
+	t.Parallel()
+	if !Bot().Equal(Bot()) {
+		t.Fatal("⊥ != ⊥")
+	}
+	if Bot().Equal(V(0)) || V(0).Equal(Bot()) {
+		t.Fatal("⊥ equals a real value")
+	}
+	if !V(1.5).Equal(V(1.5)) || V(1.5).Equal(V(2)) {
+		t.Fatal("real value equality wrong")
+	}
+	nan := V(math.NaN())
+	if !nan.Equal(nan) {
+		t.Fatal("identical NaN payloads must compare equal (bit pattern)")
+	}
+	if Bot().String() != "⊥" {
+		t.Fatalf("Bot().String() = %q", Bot().String())
+	}
+	if V(2.5).String() != "2.5" {
+		t.Fatalf("V(2.5).String() = %q", V(2.5).String())
+	}
+}
+
+func TestValueLessIsTotalOrder(t *testing.T) {
+	t.Parallel()
+	vals := []Value{Bot(), V(math.Inf(-1)), V(-1), V(0), V(1), V(math.Inf(1))}
+	for i := range vals {
+		for j := range vals {
+			less, greater := vals[i].Less(vals[j]), vals[j].Less(vals[i])
+			switch {
+			case i == j && (less || greater):
+				t.Fatalf("value %v compares unequal to itself", vals[i])
+			case i < j && (!less || greater):
+				t.Fatalf("ordering violated between %v and %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestValueKeyDistinguishesBot(t *testing.T) {
+	t.Parallel()
+	if Bot().Key() == V(0).Key() {
+		t.Fatal("⊥ key collides with 0")
+	}
+	if V(1).Key() == V(2).Key() {
+		t.Fatal("distinct values share key")
+	}
+}
+
+// Property: every Input/Prefer/StrongPrefer/Opinion payload survives a
+// round trip for arbitrary instance tags and values.
+func TestQuickRoundTripValueCarriers(t *testing.T) {
+	t.Parallel()
+	prop := func(instance uint64, x float64, isBot bool) bool {
+		v := V(x)
+		if isBot {
+			v = Bot()
+		}
+		for _, p := range []Payload{
+			Input{Instance: instance, X: v},
+			Prefer{Instance: instance, X: v},
+			StrongPrefer{Instance: instance, X: v},
+			Opinion{Instance: instance, X: v},
+		} {
+			got, err := Decode(Encode(p))
+			if err != nil || !payloadEqual(got, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RBMessage and Event round-trip arbitrary bodies.
+func TestQuickRoundTripBodies(t *testing.T) {
+	t.Parallel()
+	prop := func(src uint64, body []byte, round uint64) bool {
+		m := RBMessage{Source: ids.ID(src), Body: body}
+		gotM, err := Decode(Encode(m))
+		if err != nil || !payloadEqual(gotM, m) {
+			return false
+		}
+		e := Event{Round: round, Body: body}
+		gotE, err := Decode(Encode(e))
+		return err == nil && payloadEqual(gotE, e)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	t.Parallel()
+	for _, p := range allPayloadSamples() {
+		if s := p.Kind().String(); s == "" || s[0] == 'k' && s != "kind(0)" {
+			t.Fatalf("Kind %d has suspicious string %q", p.Kind(), s)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind string = %q", Kind(200).String())
+	}
+}
+
+func TestInstancedPayloadsReportInstance(t *testing.T) {
+	t.Parallel()
+	tagged := []Instanced{
+		IDEcho{Instance: 5},
+		Opinion{Instance: 5},
+		Input{Instance: 5},
+		Prefer{Instance: 5},
+		StrongPrefer{Instance: 5},
+		NoPreference{Instance: 5},
+		NoStrongPreference{Instance: 5},
+	}
+	for _, p := range tagged {
+		if p.InstanceID() != 5 {
+			t.Fatalf("%T.InstanceID() = %d, want 5", p, p.InstanceID())
+		}
+	}
+}
