@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover bench experiments experiments-md fuzz examples vet clean
+.PHONY: all build test test-short race cover bench bench-json experiments experiments-md fuzz examples vet clean
 
 all: vet test
 
@@ -19,11 +19,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+race:
+	$(GO) test -race -short ./...
+
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Round-engine micro-benchmarks (BenchmarkRoundEngine* workload) as JSON.
+# BENCH_simnet.json is committed so the engine's perf trajectory is
+# tracked in-repo; regenerate after touching internal/simnet.
+bench-json:
+	$(GO) run ./cmd/ubabench -benchjson -benchout BENCH_simnet.json
 
 # Regenerate every experiment table (E1-E21) as text.
 experiments:

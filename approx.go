@@ -44,6 +44,7 @@ func ApproximateAgreement(cfg Config, inputs []float64) (*ApproxResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*approx.Node, 0, cfg.Correct)
 	for i, id := range cl.correctIDs {
 		node := approx.New(id, inputs[i])
@@ -95,6 +96,7 @@ func IteratedApproximateAgreement(cfg Config, inputs []float64, rounds int) (*It
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*approx.Iterated, 0, cfg.Correct)
 	for i, id := range cl.correctIDs {
 		node := approx.NewIterated(id, inputs[i], rounds)

@@ -216,7 +216,7 @@ func BenchmarkIDSetInsert(b *testing.B) {
 
 // --- ablation benches: design choices called out in DESIGN.md.
 
-// Sequential vs goroutine-per-node runner on identical workloads: the
+// Sequential vs pooled concurrent runner on identical workloads: the
 // engines are observably equivalent (asserted by tests); this measures
 // what the concurrency costs or buys at different scales.
 func BenchmarkRunnerAblation(b *testing.B) {

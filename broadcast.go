@@ -41,6 +41,7 @@ func ReliableBroadcast(cfg Config, body []byte, horizon int) (*BroadcastResult, 
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*relbcast.Node, 0, cfg.Correct)
 	for i, id := range cl.correctIDs {
 		var node *relbcast.Node
@@ -122,6 +123,7 @@ func TerminatingBroadcast(cfg Config, body []byte, sourceCorrect bool) (*TRBResu
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	if !sourceCorrect && len(cl.byzIDs) == 0 {
 		return nil, fmt.Errorf("uba: faulty source requested with zero Byzantine nodes")
 	}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"uba/internal/simnet"
+)
+
+// benchSizes are the system sizes the round-engine micro-benchmarks
+// sweep; n=256 is the size the perf acceptance gate tracks.
+var benchSizes = []int{32, 128, 256, 512}
+
+// engineBenchResult is one BenchmarkRoundEngine* measurement in
+// BENCH_simnet.json.
+type engineBenchResult struct {
+	// Name mirrors the `go test -bench` benchmark name.
+	Name string `json:"name"`
+	// Runner is "sequential" or "concurrent".
+	Runner string `json:"runner"`
+	// N is the system size; one op is one full round (n broadcasts,
+	// n² deliveries).
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// engineBenchFile is the schema of BENCH_simnet.json, the committed
+// perf-trajectory baseline for the simnet round engine.
+type engineBenchFile struct {
+	Description string              `json:"description"`
+	GoVersion   string              `json:"go_version"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Benchmarks  []engineBenchResult `json:"benchmarks"`
+}
+
+// runBenchJSON executes the BenchmarkRoundEngine* workload (every node
+// broadcasts every round — the n²-deliveries-per-round load of the
+// paper's protocols) for each runner and size, and writes the results
+// as JSON. This is the `make bench-json` entry point.
+func runBenchJSON(outPath string, progress io.Writer) error {
+	file := engineBenchFile{
+		Description: "simnet round-engine micro-benchmarks (broadcast-heavy: one op = one round, n sends, n^2 deliveries); regenerate with `make bench-json`",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, runner := range []string{"sequential", "concurrent"} {
+		concurrent := runner == "concurrent"
+		for _, n := range benchSizes {
+			n := n
+			res := testing.Benchmark(func(b *testing.B) {
+				net, _ := simnet.NewBroadcastBench(n, b.N+1, concurrent)
+				defer net.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := net.RunRound(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if res.N == 0 {
+				return fmt.Errorf("round-engine benchmark failed (runner=%s n=%d)", runner, n)
+			}
+			r := engineBenchResult{
+				Name:        fmt.Sprintf("RoundEngine/%s/n=%d", runner, n),
+				Runner:      runner,
+				N:           n,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			file.Benchmarks = append(file.Benchmarks, r)
+			fmt.Fprintf(progress, "%-32s %12.0f ns/op %8d allocs/op %10d B/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(outPath, data, 0o644)
+}

@@ -8,6 +8,7 @@
 //	ubabench -quick     # reduced sweeps (seconds, used in CI)
 //	ubabench -only E4   # a single experiment
 //	ubabench -markdown  # Markdown tables (EXPERIMENTS.md format)
+//	ubabench -benchjson # round-engine micro-benchmarks -> BENCH_simnet.json
 package main
 
 import (
@@ -32,8 +33,14 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced sweep sizes")
 	only := fs.String("only", "", "run a single experiment (e.g. E4)")
 	markdown := fs.Bool("markdown", false, "emit Markdown tables")
+	benchjson := fs.Bool("benchjson", false, "run the round-engine micro-benchmarks and write them as JSON (see -benchout)")
+	benchout := fs.String("benchout", "BENCH_simnet.json", "output path for -benchjson")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchjson {
+		return runBenchJSON(*benchout, out)
 	}
 
 	experiments := exp.All()

@@ -39,7 +39,7 @@ func run(args []string, out io.Writer) error {
 	advName := fs.String("adversary", "silent", "none|silent|crash|split|ghost|noise")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	timing := fs.String("timing", "async", "impossibility timing: sync|semisync|async")
-	concurrent := fs.Bool("concurrent", false, "goroutine-per-node runner")
+	concurrent := fs.Bool("concurrent", false, "pooled concurrent runner")
 	traceRounds := fs.Int("trace", 0, "print a message transcript of the first N rounds")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -42,6 +42,7 @@ func Consensus(cfg Config, inputs []float64) (*ConsensusResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*consensus.Node, 0, cfg.Correct)
 	for i, id := range cl.correctIDs {
 		node := consensus.New(id, wire.V(inputs[i]))

@@ -55,6 +55,7 @@ func InteractiveConsistency(cfg Config, inputs []float64) (*VectorResult, error)
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*vector.Node, 0, cfg.Correct)
 	for i, id := range cl.correctIDs {
 		node := vector.New(id, inputs[i])

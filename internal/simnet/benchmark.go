@@ -1,0 +1,50 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"uba/internal/ids"
+	"uba/internal/trace"
+	"uba/internal/wire"
+)
+
+// ChatterProcess broadcasts one distinct payload every round and never
+// terminates: the broadcast-heavy workload (n² deliveries per round) that
+// the paper's protocols put on the engine in their all-to-all phases. It
+// is exported so the round-engine micro-benchmarks in this package and in
+// cmd/ubabench measure the identical workload.
+type ChatterProcess struct {
+	Ident ids.ID
+}
+
+// ID returns the process identifier.
+func (c *ChatterProcess) ID() ids.ID { return c.Ident }
+
+// Done always reports false; a chatter process never halts.
+func (c *ChatterProcess) Done() bool { return false }
+
+// Step broadcasts one payload whose content varies by round, so
+// cross-round dedup state cannot short-circuit the work.
+func (c *ChatterProcess) Step(env *RoundEnv) {
+	env.Broadcast(wire.Input{X: wire.V(float64(env.Round))})
+}
+
+// NewBroadcastBench builds a network of n chatter processes with traffic
+// accounting attached — the standard fixture for BenchmarkRoundEngine*
+// and the `ubabench -benchjson` harness. maxRounds bounds RunRound calls.
+func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Collector) {
+	rng := rand.New(rand.NewSource(1))
+	nodeIDs := ids.Sparse(rng, n)
+	col := &trace.Collector{}
+	net := New(Config{
+		MaxRounds:  maxRounds,
+		Concurrent: concurrent,
+		Collector:  col,
+	})
+	for _, id := range nodeIDs {
+		if err := net.Add(&ChatterProcess{Ident: id}); err != nil {
+			panic(err) // ids.Sparse never yields duplicates
+		}
+	}
+	return net, col
+}

@@ -1,0 +1,174 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+
+	"uba/internal/ids"
+	"uba/internal/trace"
+	"uba/internal/wire"
+)
+
+// A round that aborts on a contact-rule violation must contribute no
+// traffic to the Collector: sends are flushed only after the whole round
+// validates, so the report cannot be inflated by a round that never
+// delivered anything.
+func TestAbortedRoundRecordsNoTraffic(t *testing.T) {
+	t.Parallel()
+	var col trace.Collector
+	net := New(Config{EnforceContactRule: true, Collector: &col})
+	// One well-behaved broadcaster and one violator: the broadcaster's
+	// sends must not be counted either, because the round aborts.
+	good := newRecorder(1, func(env *RoundEnv) { env.Broadcast(body("fine")) })
+	bad := newRecorder(2, func(env *RoundEnv) { env.Send(1, body("illegal")) })
+	if err := net.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.RunRound(); !errors.Is(err, ErrContactRule) {
+		t.Fatalf("err = %v, want ErrContactRule", err)
+	}
+	r := col.Report()
+	if r.Sends != 0 || r.Deliveries != 0 || r.Bytes != 0 {
+		t.Fatalf("aborted round leaked traffic into the report: %v", r)
+	}
+	if len(r.PerRound) != 0 {
+		t.Fatalf("aborted round appended per-round stats: %+v", r.PerRound)
+	}
+}
+
+// A unicast whose payload duplicates one of its sender's same-round
+// broadcasts is a duplicate for the unicast target (the dedup key is
+// (sender, encoding) per receiver) and must be dropped.
+func TestUnicastDuplicatingBroadcastIsDropped(t *testing.T) {
+	t.Parallel()
+	net := New(Config{})
+	dup := body("same")
+	sender := newRecorder(1, func(env *RoundEnv) {
+		env.Broadcast(dup)
+		env.Send(2, dup)
+		env.Send(3, dup)
+	})
+	b := newRecorder(2)
+	c := newRecorder(3)
+	for _, p := range []*recorder{sender, b, c} {
+		if err := net.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRounds(t, net, 2)
+	for _, p := range []*recorder{b, c} {
+		if len(p.received[1]) != 1 {
+			t.Fatalf("node %v inbox = %+v, want the broadcast copy only", p.id, p.received[1])
+		}
+	}
+}
+
+// Inboxes must be sorted by (sender, encoding) even when a sender mixes
+// broadcasts and unicasts whose encodings straddle each other — the case
+// where delivery order alone would not produce sorted inboxes.
+func TestInboxSortedWithMixedBroadcastAndUnicast(t *testing.T) {
+	t.Parallel()
+	small := wire.Event{Round: 1, Body: []byte("aaa")}
+	large := wire.Event{Round: 1, Body: []byte("zzz")}
+	if string(wire.Encode(small)) >= string(wire.Encode(large)) {
+		t.Fatal("test payloads not ordered as intended")
+	}
+	net := New(Config{})
+	// Broadcast the large encoding and unicast the small one: the
+	// receiver must still see them in encoding order.
+	sender := newRecorder(1, func(env *RoundEnv) {
+		env.Broadcast(large)
+		env.Send(2, small)
+	})
+	sink := newRecorder(2)
+	if err := net.Add(sender); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	mustRounds(t, net, 2)
+	inbox := sink.received[1]
+	if len(inbox) != 2 {
+		t.Fatalf("inbox = %+v, want 2 messages", inbox)
+	}
+	if inbox[0].encoded > inbox[1].encoded {
+		t.Fatalf("inbox not sorted by encoding: %q then %q", inbox[0].encoded, inbox[1].encoded)
+	}
+}
+
+// Identical unicasts to *different* receivers are not duplicates of each
+// other (the dedup is per receiver).
+func TestIdenticalUnicastsToDistinctReceiversBothDeliver(t *testing.T) {
+	t.Parallel()
+	net := New(Config{})
+	sender := newRecorder(1, func(env *RoundEnv) {
+		env.Send(2, body("copy"))
+		env.Send(3, body("copy"))
+	})
+	b := newRecorder(2)
+	c := newRecorder(3)
+	for _, p := range []*recorder{sender, b, c} {
+		if err := net.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRounds(t, net, 2)
+	if len(b.received[1]) != 1 || len(c.received[1]) != 1 {
+		t.Fatalf("per-receiver dedup overreached: %+v / %+v", b.received[1], c.received[1])
+	}
+}
+
+// Close on a concurrent network releases the pool and is safe to call
+// twice; a never-concurrent network's Close is a no-op.
+func TestCloseReleasesPool(t *testing.T) {
+	t.Parallel()
+	net := New(Config{Concurrent: true})
+	for i := ids.ID(1); i <= 4; i++ {
+		if err := net.Add(newRecorder(i, func(env *RoundEnv) { env.Broadcast(body("x")) })); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRounds(t, net, 3)
+	if net.pool == nil {
+		t.Fatal("concurrent round did not start the worker pool")
+	}
+	net.Close()
+	if net.pool != nil {
+		t.Fatal("Close left the pool attached")
+	}
+	net.Close() // idempotent
+
+	seq := New(Config{})
+	seq.Close() // no pool: no-op
+}
+
+// The engine's scratch recycling must keep rounds independent: messages
+// from round r must never leak into round r+1 inboxes and vice versa,
+// even as the backing arrays are reused.
+func TestRecycledBuffersDoNotLeakAcrossRounds(t *testing.T) {
+	t.Parallel()
+	net := New(Config{})
+	sender := newRecorder(1,
+		func(env *RoundEnv) { env.Broadcast(body("r1-a")); env.Broadcast(body("r1-b")) },
+		func(env *RoundEnv) { env.Broadcast(body("r2-only")) },
+		nil,
+	)
+	sink := newRecorder(2)
+	if err := net.Add(sender); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	mustRounds(t, net, 3)
+	if len(sink.received[1]) != 2 {
+		t.Fatalf("round-2 inbox = %+v, want the two round-1 broadcasts", sink.received[1])
+	}
+	if len(sink.received[2]) != 1 || sink.received[2][0].encoded != string(wire.Encode(body("r2-only"))) {
+		t.Fatalf("round-3 inbox = %+v, want exactly the round-2 broadcast", sink.received[2])
+	}
+}

@@ -15,13 +15,24 @@
 //     communicating directly (it can still lie arbitrarily in message
 //     contents).
 //   - Duplicate messages from the same node within one round are
-//     discarded by the receiver (engine-side filtering on the canonical
-//     wire encoding).
+//     discarded by the receiver. Filtering is keyed on a 64-bit digest of
+//     the canonical wire encoding, computed once at send time; digest
+//     collisions fall back to comparing the full encodings, so the
+//     filter is exact.
 //
 // Two runners execute the same process state machines: a deterministic
-// sequential runner and a goroutine-per-node concurrent runner with a
-// barrier per round. Both produce identical executions (inboxes are
-// canonically sorted), which the test suite asserts.
+// sequential runner and a persistent worker-pool runner with a barrier
+// per round. Both produce identical executions (inboxes are canonically
+// sorted and merged in node order), which the test suite asserts.
+//
+// # Buffer-recycling contract
+//
+// The engine recycles round-scoped buffers aggressively: the RoundEnv
+// passed to Process.Step, its Inbox slice, and the internal send buffers
+// are all reused on the next round. Process.Step therefore MUST NOT
+// retain env or env.Inbox (or any subslice of it) past the call. Copy
+// individual Received values out if state must survive the round; the
+// values themselves (sender id, payload, encoding) are safe to keep.
 package simnet
 
 import (
@@ -50,12 +61,35 @@ type send struct {
 	to      ids.ID
 	payload wire.Payload
 	encoded string
+	// digest is a 64-bit FNV-1a hash of encoded, computed once at
+	// Broadcast/Send time and used for duplicate filtering (with a
+	// full-encoding fallback on collision).
+	digest uint64
+}
+
+// FNV-1a constants (hash/fnv, inlined so the hot path hashes the encoded
+// bytes without constructing a hash.Hash64).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// digest64 returns the FNV-1a hash of b.
+func digest64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // RoundEnv is the view a process gets of one round: the messages delivered
 // at the start of the round, and the ability to queue messages for
 // delivery in the next round. A RoundEnv is valid only for the duration of
-// the Step call it is passed to.
+// the Step call it is passed to; the engine reuses both the env and its
+// Inbox backing array on later rounds (see the package docs), so neither
+// may be retained.
 type RoundEnv struct {
 	// Round is the 1-based global round number.
 	Round int
@@ -71,11 +105,13 @@ type RoundEnv struct {
 // Broadcast queues a message to every node in the system (including the
 // sender itself), matching the paper's broadcast primitive.
 func (env *RoundEnv) Broadcast(p wire.Payload) {
+	enc := wire.Encode(p)
 	env.sends = append(env.sends, send{
 		from:    env.self,
 		to:      ids.None,
 		payload: p,
-		encoded: string(wire.Encode(p)),
+		encoded: string(enc),
+		digest:  digest64(enc),
 	})
 }
 
@@ -85,18 +121,21 @@ func (env *RoundEnv) SendCount() int { return len(env.sends) }
 
 // Send queues a point-to-point message to a specific node.
 func (env *RoundEnv) Send(to ids.ID, p wire.Payload) {
+	enc := wire.Encode(p)
 	env.sends = append(env.sends, send{
 		from:    env.self,
 		to:      to,
 		payload: p,
-		encoded: string(wire.Encode(p)),
+		encoded: string(enc),
+		digest:  digest64(enc),
 	})
 }
 
 // Process is a node state machine driven by the network: one Step call per
 // round. Implementations must be self-contained (no shared mutable state
-// with other processes) so that the concurrent runner can step them in
-// parallel.
+// with other processes) so that the pooled concurrent runner can step them
+// in parallel, and must not retain env or env.Inbox past the Step call
+// (the engine recycles both; see the package docs).
 type Process interface {
 	// ID returns the node's unique identifier.
 	ID() ids.ID

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"uba/internal/ids"
 	"uba/internal/trace"
@@ -29,14 +28,17 @@ type Config struct {
 	// repository terminate in O(n) rounds, so the bound exists only to
 	// turn a protocol bug into a test failure instead of a hang.
 	MaxRounds int
-	// Concurrent selects the goroutine-per-node runner instead of the
+	// Concurrent selects the pooled worker runner instead of the
 	// sequential one. Both produce identical executions.
 	Concurrent bool
 	// EnforceContactRule makes the engine verify that correct processes
 	// unicast only to nodes that previously messaged them. Violations
 	// surface as an error from Run.
 	EnforceContactRule bool
-	// Collector, when non-nil, receives traffic accounting.
+	// Collector, when non-nil, receives traffic accounting. Totals for a
+	// round are flushed in one batch after the round's sends have been
+	// validated and routed, so a round that aborts (e.g. on a contact
+	// rule violation) contributes no traffic.
 	Collector *trace.Collector
 	// EventLog, when non-nil, records a message-level transcript of
 	// every delivery (for debugging and the ubasim -trace flag).
@@ -51,8 +53,22 @@ type procState struct {
 	byzantine bool
 	inbox     []Received
 	// contacts is the set of nodes that have delivered a message to
-	// this process, used for the contact rule.
+	// this process, used for the contact rule. It is nil (and not
+	// maintained) unless Config.EnforceContactRule is set.
 	contacts map[ids.ID]struct{}
+
+	// Round-scoped scratch, recycled across rounds (see the package
+	// docs for the retention contract this imposes on Process.Step).
+	env      RoundEnv
+	sendBuf  []send
+	inboxBuf []Received
+}
+
+// stepResult is one process's contribution to a round, produced by either
+// runner and merged in node order.
+type stepResult struct {
+	sends []send
+	err   error
 }
 
 // Network owns a set of processes and runs them in lock-step rounds.
@@ -61,9 +77,19 @@ type procState struct {
 type Network struct {
 	cfg   Config
 	procs map[ids.ID]*procState
-	order []ids.ID // live process ids, sorted ascending
+	order []ids.ID     // live process ids, sorted ascending
+	live  []*procState // states aligned with order
 	round int
 	err   error
+
+	// Round-scoped scratch reused across rounds to keep the hot path
+	// allocation-free in steady state.
+	outs         []send
+	results      []stepResult
+	bcastDigests []uint64
+	bcastEncs    []string
+
+	pool *workerPool // lazily started by the concurrent runner
 }
 
 // New returns an empty network.
@@ -95,15 +121,21 @@ func (n *Network) add(p Process, byzantine bool) error {
 	if _, exists := n.procs[id]; exists {
 		return fmt.Errorf("%w: %v", ErrDuplicateID, id)
 	}
-	n.procs[id] = &procState{
+	st := &procState{
 		proc:      p,
 		byzantine: byzantine,
-		contacts:  make(map[ids.ID]struct{}),
 	}
+	if n.cfg.EnforceContactRule {
+		st.contacts = make(map[ids.ID]struct{})
+	}
+	n.procs[id] = st
 	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
 	n.order = append(n.order, 0)
 	copy(n.order[i+1:], n.order[i:])
 	n.order[i] = id
+	n.live = append(n.live, nil)
+	copy(n.live[i+1:], n.live[i:])
+	n.live[i] = st
 	return nil
 }
 
@@ -117,6 +149,7 @@ func (n *Network) Remove(id ids.ID) {
 	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
 	if i < len(n.order) && n.order[i] == id {
 		n.order = append(n.order[:i], n.order[i+1:]...)
+		n.live = append(n.live[:i], n.live[i+1:]...)
 	}
 }
 
@@ -144,73 +177,75 @@ func (n *Network) Process(id ids.ID) Process {
 
 // RunRound executes exactly one round: step every live, non-done process
 // with its inbox, then route the produced messages for delivery at the
-// start of the next round.
+// start of the next round. Traffic accounting is batched: one Collector
+// flush per successful round, nothing for an aborted one.
 func (n *Network) RunRound() error {
 	if n.err != nil {
 		return n.err
 	}
 	n.round++
-	if n.cfg.Collector != nil {
-		n.cfg.Collector.BeginRound(n.round)
-	}
 
 	var outs []send
+	var sends int64
 	var err error
 	if n.cfg.Concurrent {
-		outs, err = n.stepConcurrent()
+		outs, sends, err = n.stepConcurrent()
 	} else {
-		outs, err = n.stepSequential()
+		outs, sends, err = n.stepSequential()
 	}
 	if err != nil {
 		n.err = err
 		return err
 	}
-	n.route(outs)
+	deliveries, bytes := n.route(outs)
+	if n.cfg.Collector != nil {
+		n.cfg.Collector.AddRound(n.round, sends, deliveries, bytes)
+	}
 	return nil
 }
 
-func (n *Network) stepSequential() ([]send, error) {
-	var outs []send
-	for _, id := range n.order {
-		st := n.procs[id]
-		sends, err := n.stepOne(st)
+func (n *Network) stepSequential() ([]send, int64, error) {
+	outs := n.outs[:0]
+	var sends int64
+	for _, st := range n.live {
+		s, err := n.stepOne(st)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		outs = append(outs, sends...)
+		sends += int64(len(s))
+		outs = append(outs, s...)
 	}
-	return outs, nil
+	n.outs = outs
+	return outs, sends, nil
 }
 
-func (n *Network) stepConcurrent() ([]send, error) {
-	type result struct {
-		idx   int
-		sends []send
-		err   error
+// stepConcurrent fans the live processes out over the persistent worker
+// pool (started on first use) and merges the per-process send buffers in
+// node order, so the resulting outs slice is byte-identical to the
+// sequential runner's.
+func (n *Network) stepConcurrent() ([]send, int64, error) {
+	if n.pool == nil {
+		n.startPool()
 	}
-	live := make([]*procState, len(n.order))
-	for i, id := range n.order {
-		live[i] = n.procs[id]
+	if cap(n.results) < len(n.live) {
+		n.results = make([]stepResult, len(n.live))
 	}
-	results := make([]result, len(live))
-	var wg sync.WaitGroup
-	for i, st := range live {
-		wg.Add(1)
-		go func(i int, st *procState) {
-			defer wg.Done()
-			sends, err := n.stepOne(st)
-			results[i] = result{idx: i, sends: sends, err: err}
-		}(i, st)
-	}
-	wg.Wait()
-	var outs []send
-	for _, res := range results {
+	results := n.results[:len(n.live)]
+	n.pool.runRound(n, n.live, results)
+
+	outs := n.outs[:0]
+	var sends int64
+	for i := range results {
+		res := &results[i]
 		if res.err != nil {
-			return nil, res.err
+			return nil, 0, res.err
 		}
+		sends += int64(len(res.sends))
 		outs = append(outs, res.sends...)
+		res.sends = nil
 	}
-	return outs, nil
+	n.outs = outs
+	return outs, sends, nil
 }
 
 // stepOne steps a single process with its pending inbox. It is safe to
@@ -219,22 +254,25 @@ func (n *Network) stepConcurrent() ([]send, error) {
 func (n *Network) stepOne(st *procState) ([]send, error) {
 	inbox := st.inbox
 	st.inbox = nil
+	// Recycle the inbox backing array for next round's deliveries. This
+	// is what forbids Process.Step from retaining env.Inbox.
+	st.inboxBuf = inbox[:0]
 	if st.proc.Done() {
 		return nil, nil
 	}
-	env := &RoundEnv{
+	st.env = RoundEnv{
 		Round: n.round,
 		Inbox: inbox,
 		self:  st.proc.ID(),
+		sends: st.sendBuf[:0],
 	}
-	st.proc.Step(env)
-	if n.cfg.Collector != nil {
-		for range env.sends {
-			n.cfg.Collector.RecordSend()
-		}
-	}
-	if n.cfg.EnforceContactRule && !st.byzantine {
-		for _, s := range env.sends {
+	st.proc.Step(&st.env)
+	sends := st.env.sends
+	st.sendBuf = sends
+	st.env.Inbox = nil
+	if st.contacts != nil && !st.byzantine {
+		for i := range sends {
+			s := &sends[i]
 			if s.to == ids.None {
 				continue
 			}
@@ -244,91 +282,117 @@ func (n *Network) stepOne(st *procState) ([]send, error) {
 			}
 		}
 	}
-	return env.sends, nil
+	return sends, nil
 }
 
-// route fans out and filters the round's sends into next-round inboxes.
-func (n *Network) route(outs []send) {
-	// Deterministic processing order regardless of runner: sort by
-	// (from, to, encoding). Duplicate filtering below makes delivery
-	// content identical either way; sorting fixes inbox order exactly.
+// route fans out and filters the round's sends into next-round inboxes,
+// and returns the delivery/byte totals for the batched Collector flush.
+//
+// Sends are sorted by (from, encoding, to). That order makes three things
+// fall out for free:
+//
+//   - Inboxes are filled already sorted by (sender, encoding) — the
+//     contract RoundEnv.Inbox documents — with no per-inbox re-sort.
+//   - Exact duplicates (same sender, same target, same encoding) are
+//     adjacent, so intra-round duplicate filtering is a comparison with
+//     the previous send instead of a per-receiver set insert.
+//   - A broadcast sorts before any same-encoding unicast from the same
+//     sender (ids.None is the smallest id), so a unicast that duplicates
+//     one of its sender's broadcasts is caught by a membership check
+//     against the sender's (few) broadcast digests for the round.
+//
+// Together these cover every duplicate class of the per-receiver
+// definition — the dedup key is (sender, encoding) per receiver, and
+// cross-sender collisions are impossible since the key includes the
+// sender — while doing O(sends) dedup work instead of O(deliveries).
+// Digest comparisons short-circuit the string compares; equal digests
+// fall back to comparing full encodings, so a 64-bit collision can never
+// drop a genuinely distinct message.
+func (n *Network) route(outs []send) (deliveries, bytes int64) {
 	sort.Slice(outs, func(i, j int) bool {
-		a, b := outs[i], outs[j]
+		a, b := &outs[i], &outs[j]
 		if a.from != b.from {
 			return a.from < b.from
 		}
-		if a.to != b.to {
-			return a.to < b.to
+		if a.encoded != b.encoded {
+			return a.encoded < b.encoded
 		}
-		return a.encoded < b.encoded
+		return a.to < b.to
 	})
 
-	type dupKey struct {
-		from    ids.ID
-		encoded string
-	}
-	seen := make(map[ids.ID]map[dupKey]struct{})
-	deliver := func(to ids.ID, s send) {
-		st, ok := n.procs[to]
-		if !ok || st.proc.Done() {
-			return
+	// Per-sender broadcast digest set, reused (cleared, not reallocated)
+	// across rounds and sender blocks.
+	bd, be := n.bcastDigests[:0], n.bcastEncs[:0]
+	for k := range outs {
+		s := &outs[k]
+		if k > 0 {
+			p := &outs[k-1]
+			if p.from != s.from {
+				bd, be = bd[:0], be[:0]
+			} else if p.to == s.to && p.digest == s.digest && p.encoded == s.encoded {
+				// Exact duplicate of the previous send: discarded by
+				// the model.
+				continue
+			}
 		}
-		byReceiver := seen[to]
-		if byReceiver == nil {
-			byReceiver = make(map[dupKey]struct{})
-			seen[to] = byReceiver
-		}
-		key := dupKey{from: s.from, encoded: s.encoded}
-		if _, dup := byReceiver[key]; dup {
-			// Duplicate from the same node in one round: discarded
-			// by the model.
-			return
-		}
-		byReceiver[key] = struct{}{}
-		st.inbox = append(st.inbox, Received{
-			From:    s.from,
-			Payload: s.payload,
-			encoded: s.encoded,
-		})
-		st.contacts[s.from] = struct{}{}
-		if n.cfg.Collector != nil {
-			n.cfg.Collector.RecordDelivery(len(s.encoded))
-		}
-		if n.cfg.EventLog != nil {
-			n.cfg.EventLog.Record(trace.Event{
-				Round:     n.round + 1, // delivered at the start of the next round
-				From:      uint64(s.from),
-				To:        uint64(to),
-				Kind:      s.payload.Kind().String(),
-				Size:      len(s.encoded),
-				Broadcast: s.to == ids.None,
-			})
-		}
-	}
-
-	for _, s := range outs {
-		if s.to != ids.None {
-			deliver(s.to, s)
+		if s.to == ids.None {
+			bd = append(bd, s.digest)
+			be = append(be, s.encoded)
+			for _, st := range n.live {
+				if st.proc.Done() {
+					continue
+				}
+				deliveries, bytes = n.deliver(st, s, true, deliveries, bytes)
+			}
 			continue
 		}
-		for _, id := range n.order {
-			deliver(id, s)
-		}
-	}
-
-	// Inboxes were appended in sorted send order, so they are already
-	// sorted by (from, encoding); fix the order explicitly anyway to
-	// keep the invariant independent of routing details.
-	for _, id := range n.order {
-		st := n.procs[id]
-		sort.Slice(st.inbox, func(i, j int) bool {
-			a, b := st.inbox[i], st.inbox[j]
-			if a.From != b.From {
-				return a.From < b.From
+		dup := false
+		for j, d := range bd {
+			if d == s.digest && be[j] == s.encoded {
+				// Same payload already broadcast by this sender this
+				// round; the unicast copy is a duplicate for its target.
+				dup = true
+				break
 			}
-			return a.encoded < b.encoded
+		}
+		if dup {
+			continue
+		}
+		st, ok := n.procs[s.to]
+		if !ok || st.proc.Done() {
+			continue
+		}
+		deliveries, bytes = n.deliver(st, s, false, deliveries, bytes)
+	}
+	n.bcastDigests, n.bcastEncs = bd, be
+	return deliveries, bytes
+}
+
+// deliver appends one message to st's next-round inbox and accumulates
+// the round-local accounting.
+func (n *Network) deliver(st *procState, s *send, broadcast bool, deliveries, bytes int64) (int64, int64) {
+	if st.inbox == nil {
+		st.inbox = st.inboxBuf[:0]
+	}
+	st.inbox = append(st.inbox, Received{
+		From:    s.from,
+		Payload: s.payload,
+		encoded: s.encoded,
+	})
+	if st.contacts != nil {
+		st.contacts[s.from] = struct{}{}
+	}
+	if n.cfg.EventLog != nil {
+		n.cfg.EventLog.Record(trace.Event{
+			Round:     n.round + 1, // delivered at the start of the next round
+			From:      uint64(s.from),
+			To:        uint64(st.proc.ID()),
+			Kind:      s.payload.Kind().String(),
+			Size:      len(s.encoded),
+			Broadcast: broadcast,
 		})
 	}
+	return deliveries + 1, bytes + int64(len(s.encoded))
 }
 
 // Run executes rounds until stop returns true (checked after every round)

@@ -452,7 +452,7 @@ func runGossip(t *testing.T, concurrent bool, seed int64) map[ids.ID][]string {
 }
 
 // The observable execution (every delivery at every node, in order) must
-// be identical under the sequential and the goroutine-per-node runner.
+// be identical under the sequential and the pooled concurrent runner.
 func TestSequentialAndConcurrentRunnersAgree(t *testing.T) {
 	t.Parallel()
 	for seed := int64(1); seed <= 5; seed++ {

@@ -1,0 +1,40 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRoundEngine is the canonical broadcast-heavy hot-path bench:
+// every node broadcasts every round, so one op is one round with n sends
+// and n² deliveries through dedup, routing, and traffic accounting.
+// `make bench-json` runs the same workload via cmd/ubabench and records
+// the trajectory in BENCH_simnet.json.
+func BenchmarkRoundEngine(b *testing.B) {
+	for _, n := range []int{32, 128, 256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, false)
+		})
+	}
+}
+
+// BenchmarkRoundEngineConcurrent is the same workload on the pooled
+// concurrent runner.
+func BenchmarkRoundEngineConcurrent(b *testing.B) {
+	for _, n := range []int{32, 128, 256, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRounds(b, n, true)
+		})
+	}
+}
+
+func benchRounds(b *testing.B, n int, concurrent bool) {
+	net, _ := NewBroadcastBench(n, b.N+1, concurrent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.RunRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package simnet
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is the persistent goroutine pool behind the concurrent
+// runner. It replaces the old goroutine-per-node-per-round scheme: the
+// workers are spawned once (on the first concurrent round) and then
+// parked on a channel between rounds, so a round costs W channel sends
+// and one barrier wait instead of n goroutine spawns.
+//
+// Determinism: workers claim node indices from a shared atomic counter
+// and write each node's sends into a per-node slot of a shared results
+// slice. Which worker steps which node varies run to run, but the merge
+// (stepConcurrent) reads the slots in node order, so the routed sends —
+// and therefore the whole execution — are byte-identical to the
+// sequential runner's.
+type workerPool struct {
+	tasks   chan poolRound
+	workers int
+	next    atomic.Int64   // node-index dispenser, reset each round
+	wg      sync.WaitGroup // round barrier
+}
+
+// poolRound is one round's work order. It is passed by value through the
+// channel and dropped by each worker before it parks again, so parked
+// workers pin the pool but not the Network — which lets the Network's
+// finalizer release an abandoned pool (see startPool).
+type poolRound struct {
+	net  *Network
+	live []*procState
+	res  []stepResult
+}
+
+// startPool spawns the worker pool and arranges for its goroutines to be
+// released when the Network is garbage collected, so callers that drop a
+// concurrent Network without calling Close do not leak workers.
+func (n *Network) startPool() {
+	workers := runtime.GOMAXPROCS(0)
+	if len(n.live) < workers {
+		workers = len(n.live)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n.pool = newWorkerPool(workers)
+	runtime.SetFinalizer(n, func(nn *Network) { nn.pool.stop() })
+}
+
+// Close releases the concurrent runner's worker goroutines. It is
+// optional — an abandoned Network's pool is released by a finalizer —
+// but deterministic: call it when the network's lifetime is known, e.g.
+// after a protocol run completes. The Network must not run further
+// rounds after Close.
+func (n *Network) Close() {
+	if n.pool == nil {
+		return
+	}
+	runtime.SetFinalizer(n, nil)
+	n.pool.stop()
+	n.pool = nil
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		tasks:   make(chan poolRound, workers),
+		workers: workers,
+	}
+	for w := 0; w < workers; w++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *workerPool) work() {
+	for r := range p.tasks {
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= len(r.live) {
+				break
+			}
+			sends, err := r.net.stepOne(r.live[i])
+			r.res[i] = stepResult{sends: sends, err: err}
+		}
+		p.wg.Done()
+		// Drop the Network reference before parking so a parked worker
+		// keeps only the pool alive, not the last round's Network.
+		r = poolRound{}
+		_ = r
+	}
+}
+
+// runRound steps every process in live on the pool and returns once all
+// results are written (the per-round barrier).
+func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
+	p.next.Store(0)
+	p.wg.Add(p.workers)
+	r := poolRound{net: n, live: live, res: res}
+	for i := 0; i < p.workers; i++ {
+		p.tasks <- r
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers. Idempotence is the caller's concern
+// (Close and the finalizer both nil/clear their references).
+func (p *workerPool) stop() {
+	close(p.tasks)
+}

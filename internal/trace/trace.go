@@ -56,14 +56,37 @@ func (r Report) String() string {
 }
 
 // Collector accumulates a Report. It is safe for concurrent use so the
-// goroutine-per-node runner can record sends without extra coordination.
+// pooled concurrent runner can record from its workers without extra
+// coordination (the round engine itself batches via AddRound).
 // The zero value is ready to use.
 type Collector struct {
 	mu     sync.Mutex
 	report Report
 }
 
-// BeginRound opens accounting for round (1-based).
+// AddRound records a complete round's traffic in one batch: one lock
+// acquisition instead of one per message. This is the simulator's hot
+// path — the round engine accumulates sends/deliveries/bytes in
+// round-local counters and flushes them here once per round, only after
+// the round validated and routed (an aborted round contributes nothing).
+func (c *Collector) AddRound(round int, sends, deliveries, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report.Rounds = round
+	c.report.PerRound = append(c.report.PerRound, RoundStats{
+		Round:      round,
+		Sends:      sends,
+		Deliveries: deliveries,
+		Bytes:      bytes,
+	})
+	c.report.Sends += sends
+	c.report.Deliveries += deliveries
+	c.report.Bytes += bytes
+}
+
+// BeginRound opens accounting for round (1-based). Use it with
+// RecordSend/RecordDelivery for incremental, per-message accounting;
+// batch-oriented callers use AddRound instead.
 func (c *Collector) BeginRound(round int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

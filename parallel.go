@@ -40,6 +40,7 @@ func ParallelConsensus(cfg Config, inputs [][]Pair) (*ParallelResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*parallelcon.Node, 0, cfg.Correct)
 	for i, id := range cl.correctIDs {
 		pairs := make([]parallelcon.InputPair, 0, len(inputs[i]))

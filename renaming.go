@@ -32,6 +32,7 @@ func Renaming(cfg Config) (*RenamingResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*renaming.Node, 0, cfg.Correct)
 	for _, id := range cl.correctIDs {
 		node := renaming.New(id)

@@ -41,6 +41,7 @@ func Rotor(cfg Config) (*RotorResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.close()
 	nodes := make([]*rotor.Node, 0, cfg.Correct)
 	for _, id := range cl.correctIDs {
 		node := rotor.New(id, rotorOpinion(id))

@@ -1,0 +1,120 @@
+package uba_test
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"testing"
+
+	"uba"
+	"uba/internal/trace"
+)
+
+// runnerOutcome captures everything observable about one protocol run:
+// the message-level transcript, the traffic report, and the protocol's
+// own result. The pooled concurrent runner must reproduce all three
+// byte-for-byte from the sequential runner — this is the guard on the
+// worker-pool and digest-dedup rewrite of the round engine.
+type runnerOutcome struct {
+	events []trace.Event
+	report trace.Report
+	result any
+}
+
+func runOnce(t *testing.T, protocol string, adv uba.Adversary, concurrent bool) runnerOutcome {
+	t.Helper()
+	log := trace.NewEventLog(500_000)
+	cfg := uba.Config{
+		Correct:    7,
+		Byzantine:  2,
+		Adversary:  adv,
+		Seed:       42,
+		Concurrent: concurrent,
+		EventLog:   log,
+	}
+	var result any
+	var report trace.Report
+	switch protocol {
+	case "consensus":
+		inputs := []float64{0, 1, 0, 1, 0, 1, 0}
+		res, err := uba.Consensus(cfg, inputs)
+		if err != nil {
+			t.Fatalf("%s/%s concurrent=%v: %v", protocol, adv, concurrent, err)
+		}
+		report = res.Report
+		res.Report = trace.Report{}
+		result = *res
+	case "broadcast":
+		res, err := uba.ReliableBroadcast(cfg, []byte("equivalence-body"), 10)
+		if err != nil {
+			t.Fatalf("%s/%s concurrent=%v: %v", protocol, adv, concurrent, err)
+		}
+		report = res.Report
+		res.Report = trace.Report{}
+		result = *res
+	case "rotor":
+		res, err := uba.Rotor(cfg)
+		if err != nil {
+			t.Fatalf("%s/%s concurrent=%v: %v", protocol, adv, concurrent, err)
+		}
+		report = res.Report
+		res.Report = trace.Report{}
+		result = *res
+	default:
+		t.Fatalf("unknown protocol %q", protocol)
+	}
+	if log.Dropped() > 0 {
+		t.Fatalf("%s/%s concurrent=%v: transcript truncated (%d dropped)",
+			protocol, adv, concurrent, log.Dropped())
+	}
+	return runnerOutcome{events: log.Events(), report: report, result: result}
+}
+
+// TestRunnerEquivalenceAcrossAdversaries runs every adversary strategy
+// against consensus, reliable broadcast, and the rotor-coordinator under
+// both runners with a shared seed and asserts byte-identical transcripts
+// (every delivery: round, from, to, kind, size, broadcast flag, in
+// order), identical Report totals and per-round breakdowns, and
+// identical protocol results.
+func TestRunnerEquivalenceAcrossAdversaries(t *testing.T) {
+	t.Parallel()
+	adversaries := []uba.Adversary{
+		uba.AdversaryNone, uba.AdversarySilent, uba.AdversaryCrash,
+		uba.AdversarySplit, uba.AdversaryGhost, uba.AdversaryNoise,
+	}
+	for _, protocol := range []string{"consensus", "broadcast", "rotor"} {
+		for _, adv := range adversaries {
+			protocol, adv := protocol, adv
+			t.Run(fmt.Sprintf("%s/%s", protocol, adv), func(t *testing.T) {
+				t.Parallel()
+				seq := runOnce(t, protocol, adv, false)
+				con := runOnce(t, protocol, adv, true)
+				if len(seq.events) == 0 {
+					t.Fatal("sequential run recorded no deliveries; transcript comparison is vacuous")
+				}
+				if !slices.Equal(seq.events, con.events) {
+					i := 0
+					for i < len(seq.events) && i < len(con.events) && seq.events[i] == con.events[i] {
+						i++
+					}
+					t.Fatalf("transcripts diverge at event %d of %d/%d:\n  sequential: %+v\n  concurrent: %+v",
+						i, len(seq.events), len(con.events), at(seq.events, i), at(con.events, i))
+				}
+				if !reflect.DeepEqual(seq.report, con.report) {
+					t.Fatalf("reports differ:\n  sequential: %v\n  concurrent: %v", seq.report, con.report)
+				}
+				if !reflect.DeepEqual(seq.result, con.result) {
+					t.Fatalf("protocol results differ:\n  sequential: %+v\n  concurrent: %+v",
+						seq.result, con.result)
+				}
+			})
+		}
+	}
+}
+
+func at(events []trace.Event, i int) any {
+	if i < len(events) {
+		return events[i]
+	}
+	return "<past end>"
+}

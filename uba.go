@@ -114,7 +114,7 @@ type Config struct {
 	// Seed makes the run reproducible (identifier layout and any
 	// adversary randomness derive from it).
 	Seed int64
-	// Concurrent selects the goroutine-per-node runner.
+	// Concurrent selects the pooled-worker concurrent runner.
 	Concurrent bool
 	// MaxRounds bounds the run (0 = simulator default).
 	MaxRounds int
@@ -210,5 +210,10 @@ func (c *cluster) addByzantine(
 func (c *cluster) run(stop func(*simnet.Network) bool) (int, error) {
 	return c.net.Run(stop)
 }
+
+// close releases the network's worker pool (a no-op for sequential
+// runs). Every one-shot run function defers it; long-lived handles
+// (OrderingCluster) expose it to their callers instead.
+func (c *cluster) close() { c.net.Close() }
 
 func (c *cluster) report() trace.Report { return c.collector.Report() }
