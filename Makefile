@@ -3,15 +3,24 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json experiments experiments-md fuzz examples vet clean
+.PHONY: all build test test-short race cover bench bench-json experiments experiments-md fuzz examples vet lint clean
 
-all: vet test
+all: vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: the repo's own go/analysis suite (cmd/ubalint) run
+# over every package via go vet's -vettool protocol. The three passes —
+# retainenv, determinism, sharedstate — enforce the simnet engine
+# contracts; see DESIGN.md "Static analysis" and internal/lint.
+# Suppress a false positive in-source with: //lint:allow <pass> <reason>
+lint:
+	$(GO) build -o bin/ubalint ./cmd/ubalint
+	$(GO) vet -vettool=bin/ubalint ./...
 
 test:
 	$(GO) test ./...
@@ -55,3 +64,4 @@ examples:
 
 clean:
 	$(GO) clean -testcache
+	rm -rf bin

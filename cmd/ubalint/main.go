@@ -1,0 +1,28 @@
+// ubalint is the repo's static-analysis gate: a go/analysis
+// multichecker running the three custom passes that enforce the simnet
+// engine contracts (retainenv, determinism, sharedstate — see
+// internal/lint and DESIGN.md "Static analysis").
+//
+// It speaks the unitchecker protocol, so it is driven through go vet,
+// which handles package loading, export data, and ./... expansion:
+//
+//	go build -o bin/ubalint ./cmd/ubalint
+//	go vet -vettool=bin/ubalint ./...
+//
+// or simply:
+//
+//	make lint
+//
+// False positives are suppressed in-source with
+// //lint:allow <pass> <reason> (the reason is mandatory).
+package main
+
+import (
+	"uba/internal/lint"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

@@ -14,13 +14,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"uba"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		machines  = 10
 		byzantine = 3
@@ -34,14 +42,14 @@ func main() {
 		offsets[i] = (rng.Float64() - 0.5) * 10_000
 	}
 	lo, hi := bounds(offsets)
-	fmt.Printf("%d machines, %d Byzantine; clock offsets span [%.0f, %.0f] µs\n",
+	fmt.Fprintf(w, "%d machines, %d Byzantine; clock offsets span [%.0f, %.0f] µs\n",
 		machines, byzantine, lo, hi)
 
 	rounds := 1
 	for spread := hi - lo; spread > epsilonUs; spread /= 2 {
 		rounds++
 	}
-	fmt.Printf("running %d reduction rounds (range halves per round)\n\n", rounds)
+	fmt.Fprintf(w, "running %d reduction rounds (range halves per round)\n\n", rounds)
 
 	res, err := uba.IteratedApproximateAgreement(uba.Config{
 		Correct:   machines,
@@ -50,25 +58,26 @@ func main() {
 		Seed:      11,
 	}, offsets, rounds)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for i, r := range res.RangePerRound {
-		fmt.Printf("round %2d: honest clock disagreement %10.3f µs\n", i+1, r)
+		fmt.Fprintf(w, "round %2d: honest clock disagreement %10.3f µs\n", i+1, r)
 	}
 
 	fLo, fHi := bounds(res.Estimates)
-	fmt.Printf("\nagreed correction target: %.3f µs (±%.3f)\n",
+	fmt.Fprintf(w, "\nagreed correction target: %.3f µs (±%.3f)\n",
 		(fLo+fHi)/2, (fHi-fLo)/2)
 	for i, target := range res.Estimates {
 		correction := target - offsets[i]
-		fmt.Printf("machine %2d: offset %+9.1f µs -> correct by %+9.1f µs\n",
+		fmt.Fprintf(w, "machine %2d: offset %+9.1f µs -> correct by %+9.1f µs\n",
 			i, offsets[i], correction)
 	}
 	if fHi-fLo > epsilonUs {
-		log.Fatalf("synchronization failed: %.3f µs spread", fHi-fLo)
+		return fmt.Errorf("synchronization failed: %.3f µs spread", fHi-fLo)
 	}
-	fmt.Printf("\nclocks synchronized to %.3f µs without knowing n or f\n", fHi-fLo)
+	fmt.Fprintf(w, "\nclocks synchronized to %.3f µs without knowing n or f\n", fHi-fLo)
+	return nil
 }
 
 func bounds(xs []float64) (lo, hi float64) {

@@ -22,28 +22,36 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"uba"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cfg := uba.Config{
 		Correct:   9,
 		Byzantine: 2,
 		Adversary: uba.AdversaryGhost,
 		Seed:      4242,
 	}
-	fmt.Printf("bring-up: %d machines (%d healthy, %d Byzantine), nobody knows n or f\n\n",
+	fmt.Fprintf(w, "bring-up: %d machines (%d healthy, %d Byzantine), nobody knows n or f\n\n",
 		cfg.N(), cfg.Correct, cfg.Byzantine)
 
 	// Step 1: renaming — compact, consistent slot numbers.
 	names, err := uba.Renaming(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("step 1: renaming finished in %d rounds, %d slots assigned\n",
+	fmt.Fprintf(w, "step 1: renaming finished in %d rounds, %d slots assigned\n",
 		names.Rounds, len(names.Names))
 	type slot struct {
 		id   uint64
@@ -55,16 +63,16 @@ func main() {
 	}
 	sort.Slice(slots, func(i, j int) bool { return slots[i].name < slots[j].name })
 	for _, s := range slots {
-		fmt.Printf("        slot %2d <- machine %d\n", s.name, s.id)
+		fmt.Fprintf(w, "        slot %2d <- machine %d\n", s.name, s.id)
 	}
 
 	// Step 2: rotor — a guaranteed good leader round despite ghost ids.
 	rotor, err := uba.Rotor(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nstep 2: rotor-coordinator finished in %d rounds;\n", rotor.Rounds)
-	fmt.Printf("        a common correct leader's proposal was accepted in round %d\n", rotor.GoodRound)
+	fmt.Fprintf(w, "\nstep 2: rotor-coordinator finished in %d rounds;\n", rotor.Rounds)
+	fmt.Fprintf(w, "        a common correct leader's proposal was accepted in round %d\n", rotor.GoodRound)
 
 	// Step 3: consensus on the epoch configuration value. Machines boot
 	// with conflicting candidate epochs; the Byzantine pair split-votes.
@@ -76,10 +84,11 @@ func main() {
 		Seed:      cfg.Seed,
 	}, epochVotes)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nstep 3: epoch consensus committed epoch=%v in %d rounds\n",
+	fmt.Fprintf(w, "\nstep 3: epoch consensus committed epoch=%v in %d rounds\n",
 		commit.Decision, commit.Rounds)
-	fmt.Printf("\ncluster is up: %d slots, epoch %v, zero knowledge of n or f required\n",
+	fmt.Fprintf(w, "\ncluster is up: %d slots, epoch %v, zero knowledge of n or f required\n",
 		len(names.Names), commit.Decision)
+	return nil
 }

@@ -14,83 +14,97 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"uba"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cluster, err := uba.NewOrderingCluster(uba.Config{
 		Correct:   5,
 		Byzantine: 1,
 		Seed:      99,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	replicas := cluster.Members()
-	fmt.Printf("booting ordered log: %d replicas + 1 Byzantine\n\n", len(replicas))
+	fmt.Fprintf(w, "booting ordered log: %d replicas + 1 Byzantine\n\n", len(replicas))
 
 	nextTx := 100.0
-	submit := func(replica uint64) {
+	submit := func(replica uint64) error {
 		if err := cluster.SubmitEvent(replica, nextTx); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		nextTx++
+		return nil
 	}
 
 	var joiner uint64
 	for round := 1; round <= 90; round++ {
 		// A transaction lands at a rotating replica every other round.
 		if round%2 == 0 {
-			submit(replicas[(round/2)%len(replicas)])
+			if err := submit(replicas[(round/2)%len(replicas)]); err != nil {
+				return err
+			}
 		}
 		switch round {
 		case 20:
 			joiner, err = cluster.Join()
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("round %2d: replica %d requests to join\n", round, joiner)
+			fmt.Fprintf(w, "round %2d: replica %d requests to join\n", round, joiner)
 		case 30:
-			submit(joiner)
-			fmt.Printf("round %2d: joined replica submits tx\n", round)
+			if err := submit(joiner); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "round %2d: joined replica submits tx\n", round)
 		case 60:
 			if err := cluster.Leave(joiner); err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("round %2d: joined replica leaves\n", round)
+			fmt.Fprintf(w, "round %2d: joined replica leaves\n", round)
 		}
 		if err := cluster.RunRounds(1); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	// All correct replicas expose the same chain (prefix property).
 	reference, err := cluster.Chain(replicas[0])
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nfinalized log (%d transactions):\n", len(reference))
+	fmt.Fprintf(w, "\nfinalized log (%d transactions):\n", len(reference))
 	for i, e := range reference {
 		who := "founder"
 		if e.Submitter == joiner {
 			who = "joiner "
 		}
-		fmt.Printf("%3d. tx=%g  (round %d, %s %d)\n", i+1, e.Value, e.Round, who, e.Submitter)
+		fmt.Fprintf(w, "%3d. tx=%g  (round %d, %s %d)\n", i+1, e.Value, e.Round, who, e.Submitter)
 	}
 
 	for _, r := range replicas[1:] {
 		chain, err := cluster.Chain(r)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		for i := range chain {
 			if chain[i] != reference[i] {
-				log.Fatalf("chain prefix violated at replica %d, entry %d", r, i)
+				return fmt.Errorf("chain prefix violated at replica %d, entry %d", r, i)
 			}
 		}
 	}
-	fmt.Printf("\nchain-prefix verified across all %d correct replicas\n", len(replicas))
-	fmt.Printf("traffic: %v\n", cluster.Report())
+	fmt.Fprintf(w, "\nchain-prefix verified across all %d correct replicas\n", len(replicas))
+	fmt.Fprintf(w, "traffic: %v\n", cluster.Report())
+	return nil
 }

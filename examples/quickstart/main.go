@@ -12,34 +12,42 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"uba"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cfg := uba.Config{
 		Correct:   7,
 		Byzantine: 2,
 		Adversary: uba.AdversarySplit,
 		Seed:      2020, // PODC 2020
 	}
-	fmt.Printf("cluster: n = %d nodes (%d correct, %d Byzantine), n > 3f: %v\n",
+	fmt.Fprintf(w, "cluster: n = %d nodes (%d correct, %d Byzantine), n > 3f: %v\n",
 		cfg.N(), cfg.Correct, cfg.Byzantine, cfg.Resilient())
-	fmt.Println("no node knows n or f; identifiers are sparse random 48-bit values")
+	fmt.Fprintln(w, "no node knows n or f; identifiers are sparse random 48-bit values")
 
 	inputs := []float64{0, 1, 0, 1, 0, 1, 1}
-	fmt.Printf("inputs: %v (disagreement), adversary: split-voting 0 vs 1\n\n", inputs)
+	fmt.Fprintf(w, "inputs: %v (disagreement), adversary: split-voting 0 vs 1\n\n", inputs)
 
 	res, err := uba.Consensus(cfg, inputs)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("decision:    %v (every correct node)\n", res.Decision)
-	fmt.Printf("rounds:      %d\n", res.Rounds)
-	fmt.Printf("traffic:     %v\n", res.Report)
-	fmt.Println()
+	fmt.Fprintf(w, "decision:    %v (every correct node)\n", res.Decision)
+	fmt.Fprintf(w, "rounds:      %d\n", res.Rounds)
+	fmt.Fprintf(w, "traffic:     %v\n", res.Report)
+	fmt.Fprintln(w)
 
 	// Unanimous inputs terminate in a single five-round phase plus two
 	// initialization rounds — independent of n.
@@ -47,10 +55,11 @@ func main() {
 		Correct: 22, Byzantine: 7, Seed: 2020,
 	}, repeat(3.14, 22))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("unanimous inputs at n=29: decided %v in %d rounds (early termination)\n",
+	fmt.Fprintf(w, "unanimous inputs at n=29: decided %v in %d rounds (early termination)\n",
 		uniRes.Decision, uniRes.Rounds)
+	return nil
 }
 
 func repeat(x float64, n int) []float64 {

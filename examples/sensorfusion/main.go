@@ -14,13 +14,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"uba"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		sensors     = 13
 		compromised = 4
@@ -34,9 +42,9 @@ func main() {
 		readings[i] = 21.5 + (rng.Float64()-0.5)*3
 	}
 	lo, hi := bounds(readings)
-	fmt.Printf("%d sensors (+%d compromised, reporting ±10⁶ °C to opposite halves)\n",
+	fmt.Fprintf(w, "%d sensors (+%d compromised, reporting ±10⁶ °C to opposite halves)\n",
 		sensors, compromised)
-	fmt.Printf("raw readings span [%.3f, %.3f] — spread %.3f°C\n\n", lo, hi, hi-lo)
+	fmt.Fprintf(w, "raw readings span [%.3f, %.3f] — spread %.3f°C\n\n", lo, hi, hi-lo)
 
 	// Range halves per round: ⌈log2(spread/ε)⌉ rounds suffice.
 	rounds := 1
@@ -51,17 +59,18 @@ func main() {
 		Seed:      7,
 	}, readings, rounds)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for i, r := range res.RangePerRound {
-		fmt.Printf("round %2d: honest-sensor spread %.6f°C\n", i+1, r)
+		fmt.Fprintf(w, "round %2d: honest-sensor spread %.6f°C\n", i+1, r)
 	}
 	fLo, fHi := bounds(res.Estimates)
-	fmt.Printf("\nfused reading: %.4f..%.4f°C (spread %.6f ≤ ε = %v)\n",
+	fmt.Fprintf(w, "\nfused reading: %.4f..%.4f°C (spread %.6f ≤ ε = %v)\n",
 		fLo, fHi, fHi-fLo, epsilon)
-	fmt.Printf("all fused values stayed inside the honest range [%.3f, %.3f]\n", lo, hi)
-	fmt.Printf("traffic: %v\n", res.Report)
+	fmt.Fprintf(w, "all fused values stayed inside the honest range [%.3f, %.3f]\n", lo, hi)
+	fmt.Fprintf(w, "traffic: %v\n", res.Report)
+	return nil
 }
 
 func bounds(xs []float64) (lo, hi float64) {

@@ -1,3 +1,9 @@
 module uba
 
 go 1.22
+
+// golang.org/x/tools is vendored (see vendor/) so the build — including
+// cmd/ubalint, the repo's go/analysis linter suite — works without
+// network access. The vendored subset is the unitchecker closure copied
+// from the Go toolchain's own vendored copy of x/tools.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

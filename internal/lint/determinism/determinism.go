@@ -1,0 +1,408 @@
+// Package determinism implements the ubalint pass that keeps protocol
+// code bit-reproducible: every quantitative claim in EXPERIMENTS.md
+// depends on a fixed seed producing an identical execution, so protocol
+// packages must not consult wall-clock time, the shared global
+// math/rand generators, or Go's randomized map iteration order in any
+// order-sensitive way.
+//
+// Within protocol packages (by default the module root package and
+// everything under uba/internal/..., configurable with -packages), the
+// pass flags:
+//
+//   - calls to time.Now, time.Since, or time.Until
+//   - calls to the top-level math/rand and math/rand/v2 functions, whose
+//     shared global state makes interleaved runs irreproducible; methods
+//     on an explicitly seeded *rand.Rand passed in by the caller and the
+//     New*/NewSource constructors (deterministic functions of their
+//     seed) are the sanctioned alternative and are not flagged
+//   - range over a map whose body is order-sensitive: sends on a
+//     channel, appends to a variable declared outside the loop, or
+//     plainly overwrites an outer variable (last writer wins). Writes
+//     keyed by the loop variable (out[k] = v), delete, and commutative
+//     numeric updates (sum += v, n++) are order-insensitive and
+//     allowed. Appending the loop key or value into a slice that the
+//     same function later passes to a sort call (sort.* or slices.Sort*)
+//     is the sanctioned collect-then-sort idiom and is also allowed.
+//     Three order-independent fold shapes are recognized and accepted:
+//     writes where every branch stores the same constant (the monotone
+//     flag within = false), self-compare min/max folds (if est < lo
+//     { lo = est }), and conditional folds whose guard chain shows an
+//     explicit deterministic tie-break (an == comparison or a
+//     Less/Compare call — the argmax idiom used throughout the
+//     protocols; see tieBrokenFold for the trust boundary).
+//
+// Test files (_test.go) are exempt: tests legitimately measure wall
+// time and exercise randomized inputs.
+//
+// Known false negatives (see DESIGN.md): order-sensitive effects hidden
+// behind a function call inside a map-range body, string concatenation
+// via s += v, and nondeterminism imported through select statements or
+// goroutine scheduling are not modeled.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"uba/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag wall-clock reads, global math/rand use, and order-sensitive map iteration " +
+		"in protocol packages, which would break bit-reproducible simulation runs",
+	Run: run,
+}
+
+// packagesFlag restricts the pass to protocol packages: the module root
+// ("uba") plus everything under uba/internal/. cmd/ and examples/ are
+// driver code where wall-clock use is legitimate.
+var packagesFlag = defaultPackages
+
+const defaultPackages = `^uba(/internal(/.*)?)?$`
+
+func init() {
+	Analyzer.Flags.StringVar(&packagesFlag, "packages",
+		defaultPackages, "regexp of package import paths the pass applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	scope, err := regexp.Compile(packagesFlag)
+	if err != nil {
+		return nil, err
+	}
+	if !scope.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sup := lintutil.NewSuppressor(pass, "determinism")
+	c := &checker{pass: pass, sup: sup}
+	for _, f := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				c.checkCall(n)
+			case *ast.FuncDecl:
+				c.fn = n
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	sup  *lintutil.Suppressor
+	// fn is the function declaration currently being walked, used to
+	// search for the collect-then-sort idiom.
+	fn *ast.FuncDecl
+}
+
+// pkgFunc returns the called package-level function and its package
+// path, or nil for methods, builtins, and indirect calls.
+func (c *checker) pkgFunc(call *ast.CallExpr) (*types.Func, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, ""
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return nil, "" // method (e.g. (*rand.Rand).Intn): sanctioned
+	}
+	return fn, fn.Pkg().Path()
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn, path := c.pkgFunc(call)
+	if fn == nil {
+		return
+	}
+	switch path {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			c.sup.Reportf(call.Pos(),
+				"time.%s in protocol code breaks reproducible runs; round numbers are the only clock",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewPCG, ...) are deterministic
+		// functions of their seed and are exactly how protocol code is
+		// supposed to obtain randomness; only the stateful top-level
+		// draws on the shared global generator are flagged.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		c.sup.Reportf(call.Pos(),
+			"global rand.%s in protocol code breaks reproducible runs; thread a seeded *rand.Rand instead",
+			fn.Name())
+	}
+}
+
+// checkRange flags order-sensitive bodies of direct map ranges.
+func (c *checker) checkRange(rng *ast.RangeStmt) {
+	t := c.pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	var stack []ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			c.sup.Reportf(n.Pos(),
+				"channel send inside map range: delivery order follows Go's randomized map iteration")
+		case *ast.AssignStmt:
+			c.checkRangeAssign(rng, n, loopVars, stack)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// tieBrokenFold reports whether the outermost if/switch enclosing a
+// write (stack holds its ancestors within the loop body) reads like a
+// deterministically tie-broken fold: one of its conditions contains an
+// equality comparison or a call to a Less/Compare method. The argmax
+// and min folds in protocol code guard their accumulator updates with
+//
+//	case count > bestCount:
+//	case count == bestCount && v.Less(best):
+//
+// whose result is independent of iteration order; those must not be
+// flagged, while a bare  if count > best { pick = k }  (order-dependent
+// on ties) must be. The heuristic trusts that the comparison used for
+// the tie-break is a total order — see DESIGN.md for this edge.
+func tieBrokenFold(stack []ast.Node) bool {
+	var outer ast.Node
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.IfStmt, *ast.SwitchStmt:
+			if outer == nil {
+				outer = n
+			}
+		}
+	}
+	if outer == nil {
+		return false
+	}
+	conds := []ast.Expr{}
+	ast.Inspect(outer, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			conds = append(conds, n.Cond)
+		case *ast.CaseClause:
+			conds = append(conds, n.List...)
+		}
+		return true
+	})
+	for _, cond := range conds {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL {
+					found = true
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Less", "Compare":
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkRangeAssign(rng *ast.RangeStmt, n *ast.AssignStmt, loopVars map[types.Object]bool, stack []ast.Node) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			// out[k] = v and field updates keyed by the loop variable
+			// are order-insensitive; only plain-variable forms below
+			// carry iteration order into program state.
+			continue
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil || loopVars[obj] || c.declaredInside(obj, rng) {
+			continue
+		}
+		if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && c.isAppend(call) {
+			if c.sortedLater(obj) {
+				continue // collect-then-sort idiom
+			}
+			c.sup.Reportf(n.Rhs[i].Pos(),
+				"append to %s inside map range without a later sort: element order follows map iteration",
+				id.Name)
+			continue
+		}
+		// Plain overwrite: the surviving value is the last iteration's,
+		// unless this is one of the recognized order-independent folds.
+		if n.Tok == token.ASSIGN &&
+			!c.idempotentConstWrite(rng, id, n.Rhs[i]) &&
+			!c.minMaxFold(id, n.Rhs[i], stack) &&
+			!tieBrokenFold(stack) {
+			c.sup.Reportf(n.Pos(),
+				"write to %s inside map range is last-writer-wins under randomized iteration order",
+				id.Name)
+		}
+	}
+}
+
+// idempotentConstWrite reports whether every plain write to id's
+// variable within the loop body stores the same compile-time constant —
+// the monotone-flag idiom (within = false), whose effect is identical
+// under any iteration order. Two branches storing different constants
+// (s = "odd" / s = "even") remain order-dependent and are not exempt.
+func (c *checker) idempotentConstWrite(rng *ast.RangeStmt, id *ast.Ident, rhs ast.Expr) bool {
+	tv := c.pass.TypesInfo.Types[rhs]
+	if tv.Value == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	ok := true
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || !ok || len(as.Lhs) != len(as.Rhs) {
+			return ok
+		}
+		for i, lhs := range as.Lhs {
+			other, isIdent := ast.Unparen(lhs).(*ast.Ident)
+			if !isIdent || c.pass.TypesInfo.Uses[other] != obj {
+				continue
+			}
+			otherTV := c.pass.TypesInfo.Types[as.Rhs[i]]
+			if otherTV.Value == nil || otherTV.Value.ExactString() != tv.Value.ExactString() {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// minMaxFold reports whether the write id = rhs sits under a guard that
+// compares rhs against id with a relational operator — the self-compare
+// min/max fold (if est < lo { lo = est }), which always converges to the
+// extremum regardless of iteration order.
+func (c *checker) minMaxFold(id *ast.Ident, rhs ast.Expr, stack []ast.Node) bool {
+	rhsStr := types.ExprString(ast.Unparen(rhs))
+	lhsStr := id.Name
+	for _, n := range stack {
+		var conds []ast.Expr
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			conds = append(conds, n.Cond)
+		case *ast.CaseClause:
+			conds = append(conds, n.List...)
+		default:
+			continue
+		}
+		for _, cond := range conds {
+			found := false
+			ast.Inspect(cond, func(cn ast.Node) bool {
+				be, isBin := cn.(*ast.BinaryExpr)
+				if !isBin {
+					return !found
+				}
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					x := types.ExprString(ast.Unparen(be.X))
+					y := types.ExprString(ast.Unparen(be.Y))
+					if (x == rhsStr && y == lhsStr) || (x == lhsStr && y == rhsStr) {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// declaredInside reports whether obj is declared within the range body,
+// in which case writes to it cannot leak iteration order.
+func (c *checker) declaredInside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End()
+}
+
+func (c *checker) isAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether the enclosing function passes obj to a
+// sorting call (sort.* or slices.Sort*) after collecting into it —
+// the sanctioned way to iterate a map deterministically.
+func (c *checker) sortedLater(obj types.Object) bool {
+	if c.fn == nil || c.fn.Body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, path := c.pkgFunc(call)
+		if fn == nil || (path != "sort" && path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			argID, ok := ast.Unparen(arg).(*ast.Ident)
+			if ok && c.pass.TypesInfo.Uses[argID] == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

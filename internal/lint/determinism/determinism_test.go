@@ -1,0 +1,32 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/determinism"
+	"uba/internal/lint/linttest"
+)
+
+// Test runs the pass over the fixtures with the package gate opened so
+// the fixture import paths ("det") fall inside protocol scope.
+func Test(t *testing.T) {
+	setPackages(t, ".*")
+	linttest.Run(t, "testdata", determinism.Analyzer, "det")
+}
+
+// TestPackageScope runs with the default gate: the "scoped" fixture
+// contains a time.Now call but lies outside protocol scope, so the pass
+// must stay silent (the fixture carries no want annotations).
+func TestPackageScope(t *testing.T) {
+	setPackages(t, determinism.Analyzer.Flags.Lookup("packages").DefValue)
+	linttest.Run(t, "testdata", determinism.Analyzer, "scoped")
+}
+
+func setPackages(t *testing.T, v string) {
+	t.Helper()
+	prev := determinism.Analyzer.Flags.Lookup("packages").Value.String()
+	if err := determinism.Analyzer.Flags.Set("packages", v); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { determinism.Analyzer.Flags.Set("packages", prev) })
+}

@@ -1,0 +1,85 @@
+// Violating shapes: wall-clock reads, global math/rand, and
+// order-sensitive map iteration.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `time\.Now in protocol code breaks reproducible runs`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in protocol code breaks reproducible runs`
+}
+
+func deadline(d time.Time) time.Duration {
+	return time.Until(d) // want `time\.Until in protocol code breaks reproducible runs`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global rand\.Intn in protocol code breaks reproducible runs`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `global rand\.Float64 in protocol code`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle in protocol code`
+}
+
+func fanout(m map[int]string, ch chan string) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map range: delivery order follows Go's randomized map iteration`
+	}
+}
+
+func collect(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside map range without a later sort`
+	}
+	return out
+}
+
+func lastWriter(m map[int]int) int {
+	var winner int
+	for _, v := range m {
+		winner = v // want `write to winner inside map range is last-writer-wins`
+	}
+	return winner
+}
+
+// lastParity writes two different constants under a guard with no
+// tie-break: the surviving value depends on iteration order.
+func lastParity(m map[int]int) string {
+	var s string
+	for _, v := range m {
+		if v%2 > 0 {
+			s = "odd" // want `write to s inside map range is last-writer-wins`
+		} else {
+			s = "even" // want `write to s inside map range is last-writer-wins`
+		}
+	}
+	return s
+}
+
+// naiveArgmax has no tie-break: on equal counts the winner depends on
+// iteration order. The tie-broken twin in good.go is accepted.
+func naiveArgmax(counts map[string]int) string {
+	var best string
+	bestCount := -1
+	for k, c := range counts {
+		if c > bestCount {
+			// The count update below is itself a max fold and is NOT
+			// flagged; only the key selection is order-dependent.
+			best = k // want `write to best inside map range is last-writer-wins`
+			bestCount = c
+		}
+	}
+	return best
+}

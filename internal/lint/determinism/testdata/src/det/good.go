@@ -1,0 +1,137 @@
+// Conforming twins: seeded randomness, collect-then-sort iteration,
+// keyed writes, and commutative accumulation — none may be flagged.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seeded threads an explicitly seeded generator: the sanctioned source
+// of randomness in protocol code.
+func seeded(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructing from a seed is deterministic
+}
+
+// collectSorted is the sanctioned map-iteration idiom: gather the keys,
+// sort them, then range the sorted slice.
+func collectSorted(m map[int]string) []string {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// keyedWrites are order-insensitive: each iteration touches its own key.
+func keyedWrites(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// count accumulates commutatively; iteration order cannot show.
+func count(m map[int]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// insideLoop writes a variable declared in the loop body: invisible
+// outside one iteration.
+func insideLoop(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		double := v * 2
+		double = double + 1
+		total += double
+	}
+	return total
+}
+
+// suppressed documents a deliberately order-dependent write with
+// //lint:allow; it must not be reported.
+func suppressed(m map[int]int) int {
+	var sample int
+	for _, v := range m {
+		//lint:allow determinism any surviving sample is acceptable for this heuristic
+		sample = v
+	}
+	return sample
+}
+
+// tieBrokenArgmax is the sanctioned fold: the == branch breaks count
+// ties toward the smaller key, so the result is order-independent.
+func tieBrokenArgmax(counts map[string]int) string {
+	var best string
+	bestCount := -1
+	for k, c := range counts {
+		switch {
+		case c > bestCount:
+			best, bestCount = k, c
+		case c == bestCount && k < best:
+			best = k
+		}
+	}
+	return best
+}
+
+// orderedMin folds with a total-order comparison method: also accepted.
+type val struct{ x int }
+
+func (v val) Less(o val) bool { return v.x < o.x }
+
+func orderedMin(m map[int]val) val {
+	first := true
+	var min val
+	for _, v := range m {
+		if first || v.Less(min) {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+// anyNegative sets a monotone flag: every write stores the same
+// constant, so iteration order cannot show.
+func anyNegative(m map[int]int) bool {
+	ok := true
+	for _, v := range m {
+		if v < 0 {
+			ok = false
+		}
+	}
+	return !ok
+}
+
+// minVal is the self-compare min fold: converges to the extremum under
+// any order.
+func minVal(m map[int]int) int {
+	lo := 1 << 30
+	for _, v := range m {
+		if v < lo {
+			lo = v
+		}
+	}
+	return lo
+}
+
+// durations only manipulate time values, never read the clock.
+func durations(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}

@@ -1,0 +1,12 @@
+// Package scoped exists to prove the -packages gate: its import path
+// ("scoped") does not match the default protocol-package regexp, so the
+// wall-clock read below must NOT be reported when the pass runs with
+// its default configuration. Driver code (cmd/, examples/) relies on
+// this carve-out.
+package scoped
+
+import "time"
+
+func wallclock() time.Time {
+	return time.Now() // outside protocol scope: not reported
+}

@@ -1,0 +1,22 @@
+// Package lint assembles the ubalint analyzer suite: the custom
+// go/analysis passes that mechanically enforce the simulator's
+// determinism and buffer-recycling contracts (see DESIGN.md "Static
+// analysis" for what each pass proves and its known edges).
+package lint
+
+import (
+	"uba/internal/lint/determinism"
+	"uba/internal/lint/retainenv"
+	"uba/internal/lint/sharedstate"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full ubalint suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		retainenv.Analyzer,
+		determinism.Analyzer,
+		sharedstate.Analyzer,
+	}
+}

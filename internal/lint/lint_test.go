@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"uba/internal/lint"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestValidate checks the suite against the go/analysis well-formedness
+// rules (unique names, documented, acyclic requirements).
+func TestValidate(t *testing.T) {
+	if err := analysis.Validate(lint.Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lint.Analyzers()); got != 3 {
+		t.Fatalf("suite has %d analyzers, want 3 (retainenv, determinism, sharedstate)", got)
+	}
+}
+
+// TestUbalintSelf builds cmd/ubalint and runs it, via go vet, over every
+// package of this module — the same invocation as make lint — and
+// requires zero findings. This is the gate that keeps the tree from
+// silently regressing against its own linter.
+func TestUbalintSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-lint rebuilds the world; skipped in -short")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not in PATH: %v", err)
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "ubalint")
+
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/ubalint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ubalint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("ubalint found violations in the tree:\n%s", out)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

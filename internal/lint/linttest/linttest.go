@@ -1,0 +1,227 @@
+// Package linttest is a small, dependency-free stand-in for
+// golang.org/x/tools/go/analysis/analysistest (whose loader,
+// go/packages, is not vendored): it loads GOPATH-style fixture packages
+// from a testdata/src tree, runs one analyzer over them, and compares
+// the diagnostics against // want annotations in the fixture source.
+//
+// Fixture layout and annotation syntax match analysistest:
+//
+//	testdata/src/<pkg>/<files>.go
+//	code()   // want `regexp` "another regexp"
+//
+// Every diagnostic must be matched by a want annotation on its line and
+// every annotation must match at least one diagnostic. Imports inside a
+// fixture resolve first against sibling fixture packages under
+// testdata/src (so fixtures can import a trimmed-down "simnet"
+// stand-in), then against the standard library via the source importer.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package below filepath.Join(testdata, "src")
+// and checks a's diagnostics on it against the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		root:     filepath.Join(testdata, "src"),
+		loaded:   make(map[string]*fixture),
+		imported: make(map[string]*types.Package),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, pkg := range pkgs {
+		fx, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		diags := runAnalyzer(t, a, ld.fset, fx)
+		checkDiagnostics(t, ld.fset, fx, diags)
+	}
+}
+
+// fixture is one type-checked testdata package.
+type fixture struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset     *token.FileSet
+	root     string
+	std      types.Importer
+	loaded   map[string]*fixture
+	imported map[string]*types.Package
+}
+
+// Import resolves fixture-local packages first, then the stdlib, so
+// that ld can serve as the types.Importer for its own fixtures.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.imported[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.root, path)); err == nil && st.IsDir() {
+		fx, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fx.pkg, nil
+	}
+	pkg, err := ld.std.Import(path)
+	if err == nil {
+		ld.imported[path] = pkg
+	}
+	return pkg, err
+}
+
+func (ld *loader) load(path string) (*fixture, error) {
+	if fx, ok := ld.loaded[path]; ok {
+		return fx, nil
+	}
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	fx := &fixture{path: path, files: files, pkg: pkg, info: info}
+	ld.loaded[path] = fx
+	ld.imported[path] = pkg
+	return fx, nil
+}
+
+// runAnalyzer constructs a minimal analysis.Pass (no facts, no required
+// analyzers) and collects the diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, fx *fixture) []analysis.Diagnostic {
+	t.Helper()
+	if len(a.Requires) > 0 || len(a.FactTypes) > 0 {
+		t.Fatalf("linttest does not support analyzers with Requires or FactTypes (%s)", a.Name)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      fx.files,
+		Pkg:        fx.pkg,
+		TypesInfo:  fx.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]any),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, fx.path, err)
+	}
+	return diags
+}
+
+// wantRx extracts the quoted regexps after "// want" in a comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// checkDiagnostics compares diagnostics against // want annotations,
+// keyed by (file, line).
+func checkDiagnostics(t *testing.T, fset *token.FileSet, fx *fixture, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, f := range fx.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRx.FindAllString(c.Text[idx+len("want "):], -1) {
+					pattern := q[1 : len(q)-1]
+					if q[0] == '"' {
+						var err error
+						pattern, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.rx)
+			}
+		}
+	}
+}

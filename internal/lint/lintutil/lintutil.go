@@ -1,0 +1,133 @@
+// Package lintutil holds the pieces shared by the ubalint analyzers:
+// recognition of simnet Process.Step implementations and handling of
+// //lint:allow suppression directives.
+//
+// Suppression syntax, checked by every pass:
+//
+//	//lint:allow <pass> <reason>
+//
+// where <pass> is the analyzer name (retainenv, determinism, sharedstate)
+// or "all", and <reason> is free text explaining why the finding is a
+// false positive or an accepted risk. The reason is mandatory: a
+// directive without one is itself reported and suppresses nothing. A
+// directive suppresses matching diagnostics on its own line and on the
+// following line, so it can either trail the offending statement or sit
+// on its own line directly above it.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Suppressor filters an analyzer's diagnostics through the //lint:allow
+// directives of the package under analysis. Create one per pass run with
+// NewSuppressor and report every finding through Reportf.
+type Suppressor struct {
+	pass *analysis.Pass
+	name string
+	// allowed maps filename -> set of suppressed line numbers.
+	allowed map[string]map[int]bool
+}
+
+// NewSuppressor scans every file of the pass for //lint:allow directives
+// naming the analyzer (or "all") and returns a Suppressor for it.
+// Malformed directives (unknown form, missing reason) are reported
+// immediately so they cannot silently suppress nothing.
+func NewSuppressor(pass *analysis.Pass, name string) *Suppressor {
+	s := &Suppressor{pass: pass, name: name, allowed: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					pass.Reportf(c.Pos(), "malformed //lint:allow directive: want //lint:allow <pass> <reason>")
+					continue
+				}
+				if fields[0] != name && fields[0] != "all" {
+					continue // directive for another pass
+				}
+				if len(fields) < 2 {
+					pass.Reportf(c.Pos(), "//lint:allow %s is missing a reason", fields[0])
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := s.allowed[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					s.allowed[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				// A standalone comment also covers the next line, so the
+				// directive can sit above the offending statement.
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// Reportf reports a diagnostic at pos unless an applicable //lint:allow
+// directive covers that line.
+func (s *Suppressor) Reportf(pos token.Pos, format string, args ...any) {
+	p := s.pass.Fset.Position(pos)
+	if s.allowed[p.Filename][p.Line] {
+		return
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+// IsTestFile reports whether the file enclosing pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// RoundEnvType returns the named type T of a parameter declared as *T
+// when T is simnet.RoundEnv, and nil otherwise. The match is by package
+// name and type name rather than full import path so that analyzer test
+// fixtures can supply their own small simnet stand-in.
+func roundEnvNamed(t types.Type) *types.Named {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "RoundEnv" || obj.Pkg() == nil || obj.Pkg().Name() != "simnet" {
+		return nil
+	}
+	return named
+}
+
+// StepEnvParam reports whether fn implements the simnet Process.Step
+// contract — a method or function whose parameter list is exactly
+// (env *simnet.RoundEnv) — and returns the env parameter's object.
+func StepEnvParam(fn *ast.FuncDecl, info *types.Info) (*types.Var, bool) {
+	if fn.Name.Name != "Step" || fn.Body == nil {
+		return nil, false
+	}
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return nil, false
+	}
+	name := params.List[0].Names[0]
+	obj, ok := info.Defs[name].(*types.Var)
+	if !ok || roundEnvNamed(obj.Type()) == nil {
+		return nil, false
+	}
+	return obj, true
+}
+
+// IsRoundEnvPtr reports whether t is *simnet.RoundEnv.
+func IsRoundEnvPtr(t types.Type) bool { return roundEnvNamed(t) != nil }

@@ -1,0 +1,114 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"uba/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const src = `package p
+
+func f() {
+	_ = 4 //lint:allow testpass trailing directive with a reason
+	_ = 5
+	//lint:allow testpass standalone directive covers the next line
+	_ = 7
+	//lint:allow otherpass reason names a different pass
+	_ = 9
+	//lint:allow testpass
+	_ = 11
+	//lint:allow
+	_ = 13
+	//lint:allow all blanket directive
+	_ = 15
+	_ = 16
+}
+`
+
+// newPass parses src and returns a pass whose diagnostics append to the
+// returned slice.
+func newPass(t *testing.T) (*analysis.Pass, *[]analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "suppress.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	return pass, &diags
+}
+
+// lineStart returns a position on the given 1-based line.
+func lineStart(t *testing.T, pass *analysis.Pass, line int) token.Pos {
+	t.Helper()
+	return pass.Fset.File(pass.Files[0].Pos()).LineStart(line)
+}
+
+func TestSuppression(t *testing.T) {
+	pass, diags := newPass(t)
+	sup := lintutil.NewSuppressor(pass, "testpass")
+
+	// Constructing the suppressor reports the two malformed directives
+	// (missing reason on line 10, empty directive on line 12).
+	var malformed []string
+	for _, d := range *diags {
+		malformed = append(malformed, d.Message)
+	}
+	if len(malformed) != 2 ||
+		!strings.Contains(malformed[0], "missing a reason") ||
+		!strings.Contains(malformed[1], "malformed //lint:allow directive") {
+		t.Fatalf("malformed-directive diagnostics = %q, want missing-reason then malformed", malformed)
+	}
+	*diags = (*diags)[:0]
+
+	suppressed := map[int]bool{
+		4:  true,  // trailing directive, same line
+		5:  true,  // line after a trailing directive is covered too
+		7:  true,  // standalone directive above
+		9:  false, // directive names another pass
+		11: false, // missing reason: directive is inert
+		13: false, // empty directive: inert
+		15: true,  // //lint:allow all
+		16: false, // beyond the reach of any directive
+	}
+	for line, want := range suppressed {
+		*diags = (*diags)[:0]
+		sup.Reportf(lineStart(t, pass, line), "finding on line %d", line)
+		if got := len(*diags) == 0; got != want {
+			t.Errorf("line %d: suppressed = %v, want %v", line, got, want)
+		}
+	}
+}
+
+// TestOtherPassSuppressor checks the same source from the point of view
+// of the other pass: only its own directive applies, plus the blanket
+// "all" one, and the malformed directives are reported identically.
+func TestOtherPassSuppressor(t *testing.T) {
+	pass, diags := newPass(t)
+	sup := lintutil.NewSuppressor(pass, "otherpass")
+	*diags = (*diags)[:0]
+
+	sup.Reportf(lineStart(t, pass, 9), "finding")
+	if len(*diags) != 0 {
+		t.Errorf("line 9 should be suppressed for otherpass")
+	}
+	sup.Reportf(lineStart(t, pass, 4), "finding")
+	if len(*diags) != 1 {
+		t.Errorf("line 4 directive names testpass; otherpass finding must be reported")
+	}
+	sup.Reportf(lineStart(t, pass, 15), "finding")
+	if len(*diags) != 1 {
+		t.Errorf("line 15 is covered by //lint:allow all for every pass")
+	}
+}

@@ -1,0 +1,326 @@
+// Package retainenv implements the ubalint pass enforcing the simnet
+// buffer-recycling contract: a Process.Step implementation must not
+// retain env, env.Inbox, or a pointer into the Inbox backing array past
+// the Step call (internal/simnet recycles all three; see the package
+// docs of internal/simnet and DESIGN.md "Static analysis").
+//
+// The pass analyzes every method of the form Step(env *simnet.RoundEnv)
+// and flags the places where a round-scoped value can outlive the call:
+//
+//   - stores to a struct field, map or slice element, package-level
+//     variable, or through a pointer
+//   - capture by a goroutine launched from Step
+//   - sends on a channel
+//   - returns (including returns from nested function literals)
+//
+// Tracked values are the env parameter itself, the env.Inbox slice and
+// any subslice of it, pointers into it (&env.Inbox[i]), a dereferenced
+// copy (*env, whose Inbox field shares the backing array), env method
+// values (env.Broadcast retains env), composite literals and appends
+// embedding any of those, function literals capturing any of those, and
+// local variables assigned from one (propagated to a fixpoint,
+// flow-insensitively).
+//
+// Copying individual Inbox elements out BY VALUE is explicitly safe
+// (simnet.Received is a value type) and is not flagged: msg :=
+// env.Inbox[i] and for _, m := range env.Inbox both copy.
+//
+// Known false negatives (documented contract, see DESIGN.md): passing
+// env to an ordinary synchronous call is not flagged — the callee runs
+// within the Step call, but nothing stops it from retaining its
+// argument; stores into a local container that itself escapes through a
+// path the pass does not model are missed; and the flow-insensitive
+// alias set means a local reassigned to something safe after an escape
+// still counts as tracked (a false positive, suppressible with
+// //lint:allow retainenv <reason>).
+package retainenv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"uba/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the retainenv pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retainenv",
+	Doc: "flag Process.Step implementations that retain env or env.Inbox past the call, " +
+		"violating the simnet buffer-recycling contract",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lintutil.NewSuppressor(pass, "retainenv")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			env, ok := lintutil.StepEnvParam(fn, pass.TypesInfo)
+			if !ok {
+				continue
+			}
+			c := &checker{pass: pass, sup: sup, tracked: map[types.Object]bool{env: true}}
+			c.propagate(fn.Body)
+			c.check(fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	sup  *lintutil.Suppressor
+	// tracked holds the objects (env plus local aliases) whose value is
+	// round-scoped: retaining any of them past Step is a violation.
+	tracked map[types.Object]bool
+}
+
+// propagate grows the tracked set with local variables assigned from a
+// tracked expression, iterating to a fixpoint so chains like a := env;
+// b := a are followed regardless of statement order.
+func (c *checker) propagate(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // multi-value call/map/type-assert form: results are fresh values
+				}
+				for i, rhs := range n.Rhs {
+					if !c.trackedExpr(rhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := c.objOf(id); obj != nil && !c.isPackageLevel(obj) && !c.tracked[obj] {
+							c.tracked[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, v := range n.Values {
+					if !c.trackedExpr(v) {
+						continue
+					}
+					if obj := c.objOf(n.Names[i]); obj != nil && !c.tracked[obj] {
+						c.tracked[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// check walks the Step body reporting every escape of a tracked value.
+func (c *checker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.SendStmt:
+			if c.trackedExpr(n.Value) {
+				c.report(n.Value.Pos(), "round-scoped %s sent on a channel", c.describe(n.Value))
+			}
+		case *ast.GoStmt:
+			c.checkGo(n)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if c.trackedExpr(r) {
+					c.report(r.Pos(), "round-scoped %s returned, escaping the Step call", c.describe(r))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags assignments that store a tracked value anywhere that
+// can outlive the Step call: a field, a map or slice element, a
+// package-level variable, or through a pointer. Plain stores to local
+// variables only alias (handled by propagate).
+func (c *checker) checkAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if !c.trackedExpr(rhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+		case *ast.Ident:
+			if obj := c.objOf(lhs); obj != nil && c.isPackageLevel(obj) {
+				c.report(rhs.Pos(), "round-scoped %s stored in package-level variable %s", c.describe(rhs), lhs.Name)
+			}
+		case *ast.SelectorExpr:
+			c.report(rhs.Pos(), "round-scoped %s stored in field %s", c.describe(rhs), lhs.Sel.Name)
+		case *ast.IndexExpr:
+			c.report(rhs.Pos(), "round-scoped %s stored in a map or slice element", c.describe(rhs))
+		case *ast.StarExpr:
+			c.report(rhs.Pos(), "round-scoped %s stored through a pointer", c.describe(rhs))
+		}
+	}
+}
+
+// checkGo flags goroutines that capture a tracked value: by argument, by
+// method value receiver, or by closure reference. The goroutine outlives
+// the Step call by construction (the engine only awaits Step itself).
+func (c *checker) checkGo(n *ast.GoStmt) {
+	call := n.Call
+	for _, arg := range call.Args {
+		if c.trackedExpr(arg) {
+			c.report(arg.Pos(), "round-scoped %s passed to a goroutine", c.describe(arg))
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if obj := c.capturedObj(fun); obj != nil {
+			c.report(n.Pos(), "goroutine closure captures round-scoped %s", obj.Name())
+		}
+	default:
+		if c.trackedExpr(fun) {
+			c.report(fun.Pos(), "goroutine invokes a method value retaining round-scoped state")
+		}
+	}
+}
+
+// trackedExpr reports whether e evaluates to a round-scoped value.
+func (c *checker) trackedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.objOf(e)
+		return obj != nil && c.tracked[obj]
+	case *ast.SelectorExpr:
+		if !c.trackedExpr(e.X) {
+			return false
+		}
+		// env.Inbox shares the recycled backing array; a method value
+		// like env.Broadcast retains env itself. Other selections on a
+		// dereferenced copy (x := *env; x.Round) are plain values.
+		if e.Sel.Name == "Inbox" {
+			return true
+		}
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		return c.trackedExpr(e.X) // subslice shares the backing array
+	case *ast.StarExpr:
+		return c.trackedExpr(e.X) // *env copies the Inbox slice header
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		switch op := ast.Unparen(e.X).(type) {
+		case *ast.IndexExpr:
+			return c.trackedExpr(op.X) // &env.Inbox[i] points into the array
+		default:
+			return c.trackedExpr(e.X)
+		}
+	case *ast.IndexExpr:
+		// env.Inbox[i] is a by-value copy of a Received: safe.
+		return false
+	case *ast.CallExpr:
+		// append(dst, env) (or any tracked argument) yields a slice
+		// retaining the tracked value. Other call results are fresh.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			args := e.Args[1:]
+			for i, arg := range args {
+				// append(x, env.Inbox...) copies Received values out of
+				// the tracked array, so the ellipsis argument is safe;
+				// append(x, env) retains env itself.
+				if e.Ellipsis.IsValid() && i == len(args)-1 {
+					continue
+				}
+				if c.trackedExpr(arg) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.trackedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		return c.capturedObj(e) != nil
+	}
+	return false
+}
+
+// capturedObj returns a tracked object referenced inside fl, or nil.
+func (c *checker) capturedObj(fl *ast.FuncLit) types.Object {
+	var found types.Object
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.objOf(id); obj != nil && c.tracked[obj] {
+				found = obj
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// describe names a tracked expression for diagnostics: the root
+// identifier when there is one, else a generic label.
+func (c *checker) describe(e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				return id.Name + "." + x.Sel.Name
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return "value"
+		}
+	}
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func (c *checker) isPackageLevel(obj types.Object) bool {
+	return obj.Parent() == c.pass.Pkg.Scope()
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	c.sup.Reportf(pos, format, args...)
+}

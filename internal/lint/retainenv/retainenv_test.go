@@ -1,0 +1,12 @@
+package retainenv_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/linttest"
+	"uba/internal/lint/retainenv"
+)
+
+func Test(t *testing.T) {
+	linttest.Run(t, "testdata", retainenv.Analyzer, "retain")
+}

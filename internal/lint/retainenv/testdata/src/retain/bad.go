@@ -1,0 +1,67 @@
+// Violating Step implementations: every way a round-scoped value can
+// outlive the call that the retainenv pass models.
+package retain
+
+import "simnet"
+
+var global *simnet.RoundEnv
+
+// fieldStore retains env and the Inbox slice in receiver fields.
+type fieldStore struct {
+	savedEnv   *simnet.RoundEnv
+	savedInbox []simnet.Received
+	window     []simnet.Received
+	first      *simnet.Received
+	all        []*simnet.RoundEnv
+}
+
+func (b *fieldStore) Step(env *simnet.RoundEnv) {
+	b.savedEnv = env           // want `round-scoped env stored in field savedEnv`
+	b.savedInbox = env.Inbox   // want `round-scoped env\.Inbox stored in field savedInbox`
+	global = env               // want `round-scoped env stored in package-level variable global`
+	b.window = env.Inbox[1:3]  // want `round-scoped env\.Inbox stored in field window`
+	p := &env.Inbox[0]
+	b.first = p                // want `round-scoped p stored in field first`
+	b.all = append(b.all, env) // want `round-scoped value stored in field all`
+}
+
+// spawner leaks env into goroutines that outlive the Step call.
+type spawner struct{ out []simnet.Received }
+
+func (s *spawner) Step(env *simnet.RoundEnv) {
+	go func() { // want `goroutine closure captures round-scoped env`
+		s.out = append(s.out, env.Inbox...)
+	}()
+	go record(env) // want `round-scoped env passed to a goroutine`
+	go env.Broadcast("late") // want `goroutine invokes a method value retaining round-scoped state`
+}
+
+func record(env *simnet.RoundEnv) {}
+
+// channeler ships round-scoped values to another goroutine.
+type channeler struct {
+	envs    chan *simnet.RoundEnv
+	inboxes chan []simnet.Received
+}
+
+func (c *channeler) Step(env *simnet.RoundEnv) {
+	c.envs <- env           // want `round-scoped env sent on a channel`
+	c.inboxes <- env.Inbox  // want `round-scoped env\.Inbox sent on a channel`
+}
+
+// closureKeeper stores a closure (and a dereferenced copy) that carry
+// the recycled buffers past the round.
+type closureKeeper struct {
+	get  func() *simnet.RoundEnv
+	copy simnet.RoundEnv
+	m    map[int]*simnet.RoundEnv
+}
+
+func (k *closureKeeper) Step(env *simnet.RoundEnv) {
+	k.get = func() *simnet.RoundEnv { // want `round-scoped value stored in field get`
+		return env // want `round-scoped env returned, escaping the Step call`
+	}
+	k.copy = *env // want `round-scoped env stored in field copy`
+	alias := env
+	k.m[env.Round] = alias // want `round-scoped alias stored in a map or slice element`
+}

@@ -1,0 +1,42 @@
+// Conforming Step implementations: the sanctioned ways of using a
+// RoundEnv, none of which may be flagged.
+package retain
+
+import "simnet"
+
+type conforming struct {
+	lastRound int
+	copied    []simnet.Received
+	bytes     int
+}
+
+func (g *conforming) Step(env *simnet.RoundEnv) {
+	g.lastRound = env.Round // plain value copy
+	for _, m := range env.Inbox {
+		g.copied = append(g.copied, m) // Received values copy out safely
+		g.bytes += m.Size()
+	}
+	if len(env.Inbox) > 0 {
+		msg := env.Inbox[0] // by-value element copy
+		g.copied = append(g.copied, msg)
+	}
+	env.Broadcast("state") // queueing within the round
+	env.Send(1, "hi")
+	inspect(env) // synchronous helper call (documented false negative)
+}
+
+func inspect(env *simnet.RoundEnv) {}
+
+// suppressed demonstrates //lint:allow: the store below is deliberate
+// test instrumentation and must NOT be reported.
+type suppressed struct{ stash []simnet.Received }
+
+func (s *suppressed) Step(env *simnet.RoundEnv) {
+	//lint:allow retainenv instrumentation reads the inbox before the next round recycles it
+	s.stash = env.Inbox
+}
+
+// notStep has the wrong signature shape: the pass must ignore it.
+type notStep struct{ saved *simnet.RoundEnv }
+
+func (n *notStep) Keep(env *simnet.RoundEnv) { n.saved = env }

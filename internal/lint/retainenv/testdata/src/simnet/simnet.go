@@ -1,0 +1,26 @@
+// Package simnet is a trimmed-down stand-in for uba/internal/simnet:
+// just enough surface (RoundEnv, Inbox, Received, the send methods) for
+// the analyzer fixtures to type-check. The analyzers match RoundEnv by
+// package name + type name, so fixtures behave like real Step methods.
+package simnet
+
+// Received mirrors the value-type delivered message.
+type Received struct {
+	From    int
+	Payload string
+}
+
+// Size mirrors the real accessor.
+func (m Received) Size() int { return len(m.Payload) }
+
+// RoundEnv mirrors the round view handed to Process.Step.
+type RoundEnv struct {
+	Round int
+	Inbox []Received
+}
+
+// Broadcast mirrors the real queueing method.
+func (env *RoundEnv) Broadcast(p string) {}
+
+// Send mirrors the real unicast method.
+func (env *RoundEnv) Send(to int, p string) {}

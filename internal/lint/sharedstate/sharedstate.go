@@ -1,0 +1,132 @@
+// Package sharedstate implements the ubalint pass enforcing the simnet
+// Process isolation contract: implementations "must be self-contained
+// (no shared mutable state with other processes) so that the pooled
+// concurrent runner can step them in parallel" (internal/simnet
+// Process docs). A Step body that writes a package-level variable is a
+// data race under the worker-pool runner that go test -race only
+// catches when the schedule cooperates — this pass catches it
+// statically, on every build.
+//
+// The pass flags, inside any Step(env *simnet.RoundEnv) body (including
+// nested function literals):
+//
+//   - assignments whose destination is rooted at a package-level
+//     variable — direct (counter = 1), through a field (global.f = 1),
+//     or into a map or slice element (registry[id] = v, table[i] = v)
+//   - ++ and -- on the same destinations
+//   - delete on a package-level map
+//
+// Reads of package-level state are allowed (immutable configuration is
+// fine); writes through an alias obtained from a global and writes done
+// by helper functions called from Step are known false negatives
+// (see DESIGN.md). Deliberate cross-process instrumentation can be
+// suppressed with //lint:allow sharedstate <reason>.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"uba/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the sharedstate pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc: "flag Process.Step bodies that write package-level mutable state, " +
+		"a data race under the pooled concurrent runner",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := lintutil.NewSuppressor(pass, "sharedstate")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := lintutil.StepEnvParam(fn, pass.TypesInfo); !ok {
+				continue
+			}
+			c := &checker{pass: pass, sup: sup}
+			c.check(fn.Body)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	sup  *lintutil.Suppressor
+}
+
+func (c *checker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v := c.packageLevelRoot(lhs); v != nil {
+					c.sup.Reportf(lhs.Pos(),
+						"Step writes package-level variable %s: shared mutable state races under the pooled runner",
+						v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := c.packageLevelRoot(n.X); v != nil {
+				c.sup.Reportf(n.Pos(),
+					"Step writes package-level variable %s: shared mutable state races under the pooled runner",
+					v.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) == 2 {
+					if v := c.packageLevelRoot(n.Args[0]); v != nil {
+						c.sup.Reportf(n.Pos(),
+							"Step deletes from package-level map %s: shared mutable state races under the pooled runner",
+							v.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// packageLevelRoot unwraps an lvalue (selector, index, dereference
+// chains) to its root identifier and returns the corresponding variable
+// when it is package-level, nil otherwise.
+func (c *checker) packageLevelRoot(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := c.pass.TypesInfo.Uses[x].(*types.Var)
+			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+				return nil
+			}
+			return v
+		case *ast.SelectorExpr:
+			// A qualified identifier (otherpkg.Var) roots at the
+			// imported package's variable; a field access roots at its
+			// receiver expression.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := c.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+					v, ok := c.pass.TypesInfo.Uses[x.Sel].(*types.Var)
+					if !ok {
+						return nil
+					}
+					return v
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/linttest"
+	"uba/internal/lint/sharedstate"
+)
+
+func Test(t *testing.T) {
+	linttest.Run(t, "testdata", sharedstate.Analyzer, "shared")
+}

@@ -1,0 +1,35 @@
+// Violating shapes: every form of package-level write from a Step body
+// that the sharedstate pass models.
+package shared
+
+import "simnet"
+
+var (
+	counter  int
+	registry = map[int]int{}
+	table    = make([]int, 8)
+	config   struct{ rounds int }
+	pointer  = &counter
+)
+
+type writer struct{ n int }
+
+func (w *writer) Step(env *simnet.RoundEnv) {
+	counter = w.n             // want `Step writes package-level variable counter`
+	counter++                 // want `Step writes package-level variable counter`
+	registry[w.n] = env.Round // want `Step writes package-level variable registry`
+	table[0] = env.Round      // want `Step writes package-level variable table`
+	config.rounds = env.Round // want `Step writes package-level variable config`
+	*pointer = 1              // want `Step writes package-level variable pointer`
+	delete(registry, w.n)     // want `Step deletes from package-level map registry`
+}
+
+// sneaky races from a goroutine spawned inside Step; the write is still
+// rooted at a package-level variable.
+type sneaky struct{}
+
+func (s *sneaky) Step(env *simnet.RoundEnv) {
+	go func() {
+		counter++ // want `Step writes package-level variable counter`
+	}()
+}

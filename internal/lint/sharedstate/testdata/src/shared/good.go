@@ -1,0 +1,37 @@
+// Conforming twins: receiver-local and function-local state, reads of
+// package-level configuration, and a suppressed deliberate exception.
+package shared
+
+import "simnet"
+
+// defaultRounds is read-only configuration: reads are fine.
+var defaultRounds = 16
+
+type isolated struct {
+	seen  map[int]int
+	total int
+}
+
+func (p *isolated) Step(env *simnet.RoundEnv) {
+	p.total += len(env.Inbox) // receiver state is per-process
+	if p.seen == nil {
+		p.seen = make(map[int]int, defaultRounds) // reading a global is fine
+	}
+	p.seen[env.Round] = len(env.Inbox)
+	local := 0
+	local++
+	_ = local
+	env.Broadcast("ok")
+}
+
+// instrumented documents a deliberate cross-process metric with
+// //lint:allow; it must not be reported.
+type instrumented struct{}
+
+func (i *instrumented) Step(env *simnet.RoundEnv) {
+	//lint:allow sharedstate metric is only read after Run returns, outside any round
+	counter++
+}
+
+// helper is not a Step implementation: free to use package state.
+func (i *instrumented) Reset() { counter = 0 }

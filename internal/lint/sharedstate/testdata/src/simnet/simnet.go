@@ -1,0 +1,18 @@
+// Package simnet is a trimmed-down stand-in for uba/internal/simnet
+// (see the retainenv fixtures for the rationale).
+package simnet
+
+// Received mirrors the value-type delivered message.
+type Received struct {
+	From    int
+	Payload string
+}
+
+// RoundEnv mirrors the round view handed to Process.Step.
+type RoundEnv struct {
+	Round int
+	Inbox []Received
+}
+
+// Broadcast mirrors the real queueing method.
+func (env *RoundEnv) Broadcast(p string) {}

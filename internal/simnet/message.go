@@ -135,7 +135,9 @@ func (env *RoundEnv) Send(to ids.ID, p wire.Payload) {
 // round. Implementations must be self-contained (no shared mutable state
 // with other processes) so that the pooled concurrent runner can step them
 // in parallel, and must not retain env or env.Inbox past the Step call
-// (the engine recycles both; see the package docs).
+// (the engine recycles both; see the package docs). Both contracts are
+// machine-checked by the ubalint passes sharedstate and retainenv
+// (internal/lint; run with `make lint`, documented in DESIGN.md §8).
 type Process interface {
 	// ID returns the node's unique identifier.
 	ID() ids.ID
