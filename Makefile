@@ -14,12 +14,21 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: the repo's own go/analysis suite (cmd/ubalint) run
-# over every package via go vet's -vettool protocol. The three passes —
-# retainenv, determinism, sharedstate — enforce the simnet engine
-# contracts; see DESIGN.md "Static analysis" and internal/lint.
+# over every package via go vet's -vettool protocol. The four passes —
+# retainenv, determinism, sharedstate, wirereg — enforce the simnet
+# engine and wire-registration contracts, fed by the interprocedural
+# summary fact pass; see DESIGN.md "Static analysis" and internal/lint.
 # Suppress a false positive in-source with: //lint:allow <pass> <reason>
-lint:
-	$(GO) build -o bin/ubalint ./cmd/ubalint
+#
+# bin/ubalint is a real make target: it rebuilds only when the linter's
+# sources (cmd/ubalint, internal/lint, the vendored x/tools) change, so
+# repeated `make lint` runs skip the build.
+LINT_SRCS := $(shell find cmd/ubalint internal/lint vendor/golang.org/x/tools -name '*.go' -not -path '*/testdata/*') go.mod
+
+bin/ubalint: $(LINT_SRCS)
+	$(GO) build -o $@ ./cmd/ubalint
+
+lint: bin/ubalint
 	$(GO) vet -vettool=bin/ubalint ./...
 
 test:

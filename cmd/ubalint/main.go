@@ -1,7 +1,8 @@
 // ubalint is the repo's static-analysis gate: a go/analysis
-// multichecker running the three custom passes that enforce the simnet
-// engine contracts (retainenv, determinism, sharedstate — see
-// internal/lint and DESIGN.md "Static analysis").
+// multichecker running the four custom passes that enforce the simnet
+// engine and wire contracts (retainenv, determinism, sharedstate,
+// wirereg — see internal/lint and DESIGN.md "Static analysis"), fed by
+// the interprocedural summary fact pass they all require.
 //
 // It speaks the unitchecker protocol, so it is driven through go vet,
 // which handles package loading, export data, and ./... expansion:

@@ -95,6 +95,8 @@ func NewSet(members ...ID) *Set {
 
 // Add inserts id, keeping the set ordered. It reports whether the id was
 // newly added (false if it was already present).
+//
+//lint:commutative sorted insertion: the resulting set is identical under any insertion order
 func (s *Set) Add(id ID) bool {
 	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
 	if i < len(s.members) && s.members[i] == id {
@@ -107,6 +109,8 @@ func (s *Set) Add(id ID) bool {
 }
 
 // Remove deletes id from the set. It reports whether the id was present.
+//
+//lint:commutative sorted removal: the resulting set is identical under any removal order
 func (s *Set) Remove(id ID) bool {
 	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
 	if i >= len(s.members) || s.members[i] != id {

@@ -31,13 +31,22 @@
 //     Less/Compare call — the argmax idiom used throughout the
 //     protocols; see tieBrokenFold for the trust boundary).
 //
+// Order-sensitive effects hidden behind a function call are caught via
+// uba/internal/lint/summary facts: a call inside a map-range body to a
+// function whose summary is order-sensitive (it sends on a shared
+// channel, appends to or overwrites state reachable from its arguments
+// or a global, or concatenates onto such a string) is flagged — unless
+// the call's receiver is a variable born inside the loop body, whose
+// per-iteration state cannot leak iteration order. String concatenation
+// (s += v) onto a variable declared outside the loop is also flagged.
+//
 // Test files (_test.go) are exempt: tests legitimately measure wall
 // time and exercise randomized inputs.
 //
-// Known false negatives (see DESIGN.md): order-sensitive effects hidden
-// behind a function call inside a map-range body, string concatenation
-// via s += v, and nondeterminism imported through select statements or
-// goroutine scheduling are not modeled.
+// Remaining false negatives (see DESIGN.md): callees reached through
+// interface dispatch or function values have no static summary,
+// helpers that write a fixed map key, and nondeterminism imported
+// through select statements or goroutine scheduling are not modeled.
 package determinism
 
 import (
@@ -48,6 +57,7 @@ import (
 	"strings"
 
 	"uba/internal/lint/lintutil"
+	"uba/internal/lint/summary"
 
 	"golang.org/x/tools/go/analysis"
 )
@@ -57,7 +67,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flag wall-clock reads, global math/rand use, and order-sensitive map iteration " +
 		"in protocol packages, which would break bit-reproducible simulation runs",
-	Run: run,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
 }
 
 // packagesFlag restricts the pass to protocol packages: the module root
@@ -81,7 +92,7 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	sup := lintutil.NewSuppressor(pass, "determinism")
-	c := &checker{pass: pass, sup: sup}
+	c := &checker{pass: pass, sup: sup, sum: pass.ResultOf[summary.Analyzer].(*summary.Result)}
 	for _, f := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, f.Pos()) {
 			continue
@@ -98,12 +109,14 @@ func run(pass *analysis.Pass) (any, error) {
 			return true
 		})
 	}
+	sup.Done()
 	return nil, nil
 }
 
 type checker struct {
 	pass *analysis.Pass
 	sup  *lintutil.Suppressor
+	sum  *summary.Result
 	// fn is the function declaration currently being walked, used to
 	// search for the collect-then-sort idiom.
 	fn *ast.FuncDecl
@@ -182,10 +195,51 @@ func (c *checker) checkRange(rng *ast.RangeStmt) {
 				"channel send inside map range: delivery order follows Go's randomized map iteration")
 		case *ast.AssignStmt:
 			c.checkRangeAssign(rng, n, loopVars, stack)
+		case *ast.CallExpr:
+			c.checkRangeCall(rng, n, loopVars, stack)
 		}
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// checkRangeCall flags calls inside a map-range body to functions whose
+// summary is order-sensitive: the effect (a send, an append, a
+// last-writer overwrite of reachable state) happens once per iteration
+// in map order, exactly like the inline forms this pass already flags.
+// A call whose receiver roots at a variable declared inside the loop
+// body (or at the loop variables themselves) builds per-iteration state
+// and is exempt; so is one whose enclosing guard shows a deterministic
+// tie-break, matching the inline fold carve-out.
+func (c *checker) checkRangeCall(rng *ast.RangeStmt, call *ast.CallExpr, loopVars map[types.Object]bool, stack []ast.Node) {
+	callee := summary.Callee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if !c.sum.Of(callee).OrderSensitive {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// env.Broadcast / env.Send append to the env's outbox, but the
+		// engine sorts deliveries by (sender, encoding) before the next
+		// round, so queueing order is not observable: calls on the
+		// RoundEnv are exempt.
+		if t := c.pass.TypesInfo.TypeOf(sel.X); t != nil && lintutil.IsRoundEnvPtr(t) {
+			return
+		}
+		if root := lintutil.RootIdent(sel.X); root != nil {
+			if obj := c.pass.TypesInfo.ObjectOf(root); obj != nil &&
+				(loopVars[obj] || c.declaredInside(obj, rng)) {
+				return
+			}
+		}
+	}
+	if tieBrokenFold(stack) {
+		return
+	}
+	c.sup.Reportf(call.Pos(),
+		"call to %s inside map range has order-sensitive effects: its observable state follows Go's randomized map iteration",
+		callee.Name())
 }
 
 // tieBrokenFold reports whether the outermost if/switch enclosing a
@@ -263,6 +317,18 @@ func (c *checker) checkRangeAssign(rng *ast.RangeStmt, n *ast.AssignStmt, loopVa
 		}
 		obj := c.pass.TypesInfo.Uses[id]
 		if obj == nil || loopVars[obj] || c.declaredInside(obj, rng) {
+			continue
+		}
+		if n.Tok == token.ADD_ASSIGN {
+			// s += v on a string concatenates in iteration order; numeric
+			// += stays commutative and is allowed.
+			if t := c.pass.TypesInfo.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.sup.Reportf(n.Pos(),
+						"string concatenation onto %s inside map range follows randomized iteration order",
+						id.Name)
+				}
+			}
 			continue
 		}
 		if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && c.isAppend(call) {

@@ -1,0 +1,95 @@
+// Interprocedural violations: order-sensitive effects hidden behind a
+// helper call inside a map range — the documented false negative of the
+// intraprocedural pass, now caught via summary facts — plus string
+// concatenation in map order. Conforming twins prove the carve-outs:
+// receivers born inside the loop, keyed-write helpers, and calls on the
+// RoundEnv (whose deliveries the engine sorts).
+package det
+
+import "simnet"
+
+var trace []string
+
+// record appends to a global: its summary is order-sensitive, so a call
+// per map iteration leaks iteration order into trace.
+func record(v string) { trace = append(trace, v) }
+
+type acc struct{ items []string }
+
+// add appends through the receiver: order-sensitive when the receiver
+// outlives the loop.
+func (a *acc) add(v string) { a.items = append(a.items, v) }
+
+type sink struct{ ch chan string }
+
+// emit sends on a channel reachable from the receiver: the delivery
+// order observable on ch follows the caller's iteration order.
+func (w *sink) emit(v string) { w.ch <- v }
+
+func recordAll(m map[int]string) {
+	for _, v := range m {
+		record(v) // want `call to record inside map range has order-sensitive effects`
+	}
+}
+
+func accumulate(m map[int]string, a *acc) {
+	for _, v := range m {
+		a.add(v) // want `call to add inside map range has order-sensitive effects`
+	}
+}
+
+func fanoutVia(m map[int]string, w *sink) {
+	for _, v := range m {
+		w.emit(v) // want `call to emit inside map range has order-sensitive effects`
+	}
+}
+
+func joined(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation onto s inside map range follows randomized iteration order`
+	}
+	return s
+}
+
+// perIteration builds its receiver inside the loop body: the appended
+// state is invisible outside one iteration, so the call is exempt.
+func perIteration(m map[int]string) int {
+	n := 0
+	for _, v := range m {
+		var a acc
+		a.add(v)
+		n += len(a.items)
+	}
+	return n
+}
+
+// put writes a caller-chosen key: keyed writes are order-insensitive,
+// so its summary is clean and calls inside map ranges are fine.
+func put(dst map[int]int, k, v int) { dst[k] = v }
+
+func copyKeyed(src, dst map[int]int) {
+	for k, v := range src {
+		put(dst, k, v)
+	}
+}
+
+// rebroadcast calls an order-sensitive method on the RoundEnv, which is
+// exempt: the engine sorts deliveries by (sender, encoding) before the
+// next round, so queueing order is not observable.
+func rebroadcast(env *simnet.RoundEnv, m map[int]string) {
+	for _, v := range m {
+		env.Broadcast(v)
+	}
+}
+
+// numeric += stays commutative even when the operand came from a helper.
+func double(v int) int { return v * 2 }
+
+func sumDoubled(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += double(v)
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package simnet is a trimmed-down stand-in for uba/internal/simnet:
+// just enough surface for the determinism fixtures to type-check. The
+// pass matches RoundEnv by package name + type name, so the
+// env-receiver exemption behaves exactly as on the real type.
+package simnet
+
+// RoundEnv mirrors the round view handed to Process.Step.
+type RoundEnv struct {
+	Round int
+
+	out []string
+}
+
+// Broadcast appends to the env's own outbox. The summary pass marks it
+// order-sensitive (append through the receiver), but the engine sorts
+// deliveries by (sender, encoding) before the next round, so calls on a
+// RoundEnv receiver are exempt inside map ranges.
+func (env *RoundEnv) Broadcast(p string) { env.out = append(env.out, p) }

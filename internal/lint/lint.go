@@ -8,15 +8,19 @@ import (
 	"uba/internal/lint/determinism"
 	"uba/internal/lint/retainenv"
 	"uba/internal/lint/sharedstate"
+	"uba/internal/lint/wirereg"
 
 	"golang.org/x/tools/go/analysis"
 )
 
-// Analyzers returns the full ubalint suite in a fixed order.
+// Analyzers returns the full ubalint suite in a fixed order. The
+// summary fact pass is not listed: it reports nothing on its own and
+// runs implicitly as a requirement of the diagnostic passes.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		retainenv.Analyzer,
 		determinism.Analyzer,
 		sharedstate.Analyzer,
+		wirereg.Analyzer,
 	}
 }

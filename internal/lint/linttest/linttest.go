@@ -14,9 +14,19 @@
 // fixture resolve first against sibling fixture packages under
 // testdata/src (so fixtures can import a trimmed-down "simnet"
 // stand-in), then against the standard library via the source importer.
+//
+// Analyzers with Requires and FactTypes are supported: the driver runs
+// the requirement closure bottom-up over the fixture import graph, and
+// facts exported on one fixture package are visible (after a gob
+// round-trip, mimicking the unitchecker's .vetx serialization) when a
+// downstream fixture is analyzed. Diagnostics are only checked for the
+// packages named in the Run call; dependency diagnostics are dropped,
+// as `go vet` drops them for non-target packages.
 package linttest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -25,7 +35,9 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -44,12 +56,16 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		imported: make(map[string]*types.Package),
 	}
 	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	d := newDriver(ld)
 	for _, pkg := range pkgs {
 		fx, err := ld.load(pkg)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", pkg, err)
 		}
-		diags := runAnalyzer(t, a, ld.fset, fx)
+		diags, err := d.run(a, fx)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, fx.path, err)
+		}
 		checkDiagnostics(t, ld.fset, fx, diags)
 	}
 }
@@ -133,29 +149,195 @@ func (ld *loader) load(path string) (*fixture, error) {
 	return fx, nil
 }
 
-// runAnalyzer constructs a minimal analysis.Pass (no facts, no required
-// analyzers) and collects the diagnostics.
-func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, fx *fixture) []analysis.Diagnostic {
-	t.Helper()
-	if len(a.Requires) > 0 || len(a.FactTypes) > 0 {
-		t.Fatalf("linttest does not support analyzers with Requires or FactTypes (%s)", a.Name)
+// driver executes analyzers over the fixture import graph, memoizing
+// per (analyzer, package) and carrying facts across packages the way
+// the unitchecker carries them across compilation units.
+type driver struct {
+	ld       *loader
+	done     map[driverKey]*action
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+type driverKey struct {
+	a    *analysis.Analyzer
+	path string
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+// action is one memoized (analyzer, package) execution.
+type action struct {
+	result any
+	diags  []analysis.Diagnostic
+	err    error
+}
+
+func newDriver(ld *loader) *driver {
+	return &driver{
+		ld:       ld,
+		done:     make(map[driverKey]*action),
+		objFacts: make(map[objFactKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
 	}
-	var diags []analysis.Diagnostic
+}
+
+// run executes a on fx and returns its diagnostics. Fixture-local
+// imports are analyzed first (so their exported facts are in the store)
+// and a's Requires run on fx itself before a does, exactly mirroring
+// the unitchecker's dependency order.
+func (d *driver) run(a *analysis.Analyzer, fx *fixture) ([]analysis.Diagnostic, error) {
+	act, err := d.exec(a, fx)
+	if err != nil {
+		return nil, err
+	}
+	return act.diags, nil
+}
+
+func (d *driver) exec(a *analysis.Analyzer, fx *fixture) (*action, error) {
+	k := driverKey{a, fx.path}
+	if act, ok := d.done[k]; ok {
+		return act, act.err
+	}
+	act := &action{}
+	d.done[k] = act
+
+	// Fixture-local imports first: their fact exports must precede our
+	// fact imports. Standard-library imports have no fixture source and
+	// carry no facts (matching `go vet`, where std units run VetxOnly
+	// and our passes export nothing of interest for them).
+	for _, imp := range fx.pkg.Imports() {
+		if depfx, ok := d.ld.loaded[imp.Path()]; ok {
+			if _, err := d.exec(a, depfx); err != nil {
+				act.err = err
+				return act, err
+			}
+		}
+	}
+
+	resultOf := make(map[*analysis.Analyzer]any)
+	for _, req := range a.Requires {
+		reqAct, err := d.exec(req, fx)
+		if err != nil {
+			act.err = err
+			return act, err
+		}
+		resultOf[req] = reqAct.result
+	}
+
+	factTypes := make(map[reflect.Type]bool)
+	for _, f := range a.FactTypes {
+		factTypes[reflect.TypeOf(f)] = true
+	}
+
 	pass := &analysis.Pass{
 		Analyzer:   a,
-		Fset:       fset,
+		Fset:       d.ld.fset,
 		Files:      fx.files,
 		Pkg:        fx.pkg,
 		TypesInfo:  fx.info,
 		TypesSizes: types.SizesFor("gc", "amd64"),
-		ResultOf:   make(map[*analysis.Analyzer]any),
-		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ResultOf:   resultOf,
+		Report:     func(diag analysis.Diagnostic) { act.diags = append(act.diags, diag) },
 		ReadFile:   os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			if obj == nil {
+				return false
+			}
+			stored, ok := d.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			return true
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			if !factTypes[reflect.TypeOf(fact)] {
+				panic(fmt.Sprintf("%s exports unregistered fact type %T", a.Name, fact))
+			}
+			clone, err := gobClone(fact)
+			if err != nil {
+				panic(fmt.Sprintf("%s: fact %T does not survive gob: %v", a.Name, fact, err))
+			}
+			d.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = clone
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			stored, ok := d.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+			if !ok {
+				return false
+			}
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+			return true
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			if !factTypes[reflect.TypeOf(fact)] {
+				panic(fmt.Sprintf("%s exports unregistered fact type %T", a.Name, fact))
+			}
+			clone, err := gobClone(fact)
+			if err != nil {
+				panic(fmt.Sprintf("%s: fact %T does not survive gob: %v", a.Name, fact, err))
+			}
+			d.pkgFacts[pkgFactKey{fx.pkg, reflect.TypeOf(fact)}] = clone
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, f := range d.objFacts {
+				out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+			}
+			// Deterministic order, matching unitchecker's sorted fact dump.
+			sort.Slice(out, func(i, j int) bool {
+				if out[i].Object.Pos() != out[j].Object.Pos() {
+					return out[i].Object.Pos() < out[j].Object.Pos()
+				}
+				return fmt.Sprintf("%T", out[i].Fact) < fmt.Sprintf("%T", out[j].Fact)
+			})
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, f := range d.pkgFacts {
+				out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+			}
+			sort.Slice(out, func(i, j int) bool {
+				if out[i].Package.Path() != out[j].Package.Path() {
+					return out[i].Package.Path() < out[j].Package.Path()
+				}
+				return fmt.Sprintf("%T", out[i].Fact) < fmt.Sprintf("%T", out[j].Fact)
+			})
+			return out
+		},
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s on %s: %v", a.Name, fx.path, err)
+	act.result, act.err = a.Run(pass)
+	if act.err != nil {
+		return act, act.err
 	}
-	return diags
+	if a.ResultType != nil && act.result != nil && reflect.TypeOf(act.result) != a.ResultType {
+		act.err = fmt.Errorf("%s returned %T, declared ResultType %s", a.Name, act.result, a.ResultType)
+	}
+	return act, act.err
+}
+
+// gobClone round-trips a fact through gob, mimicking the .vetx
+// serialization boundary: analyzers must not rely on shared pointers,
+// and a fact type that gob cannot encode fails here rather than in vet.
+func gobClone(fact analysis.Fact) (analysis.Fact, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return nil, err
+	}
+	out := reflect.New(reflect.TypeOf(fact).Elem())
+	if err := gob.NewDecoder(&buf).Decode(out.Interface()); err != nil {
+		return nil, err
+	}
+	return out.Interface().(analysis.Fact), nil
 }
 
 // wantRx extracts the quoted regexps after "// want" in a comment.
@@ -217,11 +399,16 @@ func checkDiagnostics(t *testing.T, fset *token.FileSet, fx *fixture, diags []an
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}
 	}
+	var unmatched []string
 	for k, ws := range wants {
 		for _, w := range ws {
 			if !w.matched {
-				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.rx)
+				unmatched = append(unmatched, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, w.rx))
 			}
 		}
+	}
+	sort.Strings(unmatched)
+	for _, m := range unmatched {
+		t.Error(m)
 	}
 }

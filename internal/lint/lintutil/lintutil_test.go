@@ -91,6 +91,47 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestDone checks unused-directive detection: after a run in which only
+// the standalone directive (line 6, covering line 7) suppressed
+// anything, Done must report the trailing directive on line 4 as
+// unused — and nothing else. The "all" directive is exempt (another
+// pass may have used it), malformed ones were never recorded, and the
+// otherpass directive belongs to a different suppressor.
+func TestDone(t *testing.T) {
+	pass, diags := newPass(t)
+	sup := lintutil.NewSuppressor(pass, "testpass")
+	*diags = (*diags)[:0]
+
+	sup.Reportf(lineStart(t, pass, 7), "finding suppressed by the line-6 directive")
+	sup.Done()
+
+	if len(*diags) != 1 {
+		t.Fatalf("Done reported %d diagnostics, want exactly 1 (the unused line-4 directive): %v", len(*diags), *diags)
+	}
+	d := (*diags)[0]
+	if want := "unused //lint:allow testpass directive: it suppresses no testpass diagnostic"; d.Message != want {
+		t.Errorf("Done message = %q, want %q", d.Message, want)
+	}
+	if line := pass.Fset.Position(d.Pos).Line; line != 4 {
+		t.Errorf("Done reported at line %d, want the directive's line 4", line)
+	}
+}
+
+// TestDoneAllUsed checks the quiet path: when every named directive
+// suppressed something, Done stays silent.
+func TestDoneAllUsed(t *testing.T) {
+	pass, diags := newPass(t)
+	sup := lintutil.NewSuppressor(pass, "testpass")
+	*diags = (*diags)[:0]
+
+	sup.Reportf(lineStart(t, pass, 4), "uses the trailing directive")
+	sup.Reportf(lineStart(t, pass, 7), "uses the standalone directive")
+	sup.Done()
+	if len(*diags) != 0 {
+		t.Errorf("Done reported %v after every directive was used", *diags)
+	}
+}
+
 // TestOtherPassSuppressor checks the same source from the point of view
 // of the other pass: only its own directive applies, plus the blanket
 // "all" one, and the malformed directives are reported identically.

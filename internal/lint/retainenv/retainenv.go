@@ -25,14 +25,20 @@
 // (simnet.Received is a value type) and is not flagged: msg :=
 // env.Inbox[i] and for _, m := range env.Inbox both copy.
 //
-// Known false negatives (documented contract, see DESIGN.md): passing
-// env to an ordinary synchronous call is not flagged — the callee runs
-// within the Step call, but nothing stops it from retaining its
-// argument; stores into a local container that itself escapes through a
-// path the pass does not model are missed; and the flow-insensitive
-// alias set means a local reassigned to something safe after an escape
-// still counts as tracked (a false positive, suppressible with
-// //lint:allow retainenv <reason>).
+// The pass consumes uba/internal/lint/summary facts at call sites, so
+// the interprocedural edges the intraprocedural walk used to miss are
+// caught: passing a tracked value to a function (in this package or an
+// imported one) whose summary says it retains that argument is flagged,
+// and a call result is itself tracked when the callee's summary shows
+// the tracked argument flowing into a return value (taint laundering
+// through returns, including the multi-value assignment form).
+//
+// Remaining false negatives (see DESIGN.md): callees reached through
+// interface dispatch or function values have no static summary and are
+// assumed non-retaining, as are reflection and unsafe. The
+// flow-insensitive alias set means a local reassigned to something safe
+// after an escape still counts as tracked (a false positive,
+// suppressible with //lint:allow retainenv <reason>).
 package retainenv
 
 import (
@@ -41,6 +47,7 @@ import (
 	"go/types"
 
 	"uba/internal/lint/lintutil"
+	"uba/internal/lint/summary"
 
 	"golang.org/x/tools/go/analysis"
 )
@@ -50,11 +57,13 @@ var Analyzer = &analysis.Analyzer{
 	Name: "retainenv",
 	Doc: "flag Process.Step implementations that retain env or env.Inbox past the call, " +
 		"violating the simnet buffer-recycling contract",
-	Run: run,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	sup := lintutil.NewSuppressor(pass, "retainenv")
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -65,20 +74,28 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok {
 				continue
 			}
-			c := &checker{pass: pass, sup: sup, tracked: map[types.Object]bool{env: true}}
+			c := &checker{pass: pass, sup: sup, sum: sum,
+				tracked: map[types.Object]bool{env: true},
+				goCalls: map[*ast.CallExpr]bool{}}
 			c.propagate(fn.Body)
 			c.check(fn.Body)
 		}
 	}
+	sup.Done()
 	return nil, nil
 }
 
 type checker struct {
 	pass *analysis.Pass
 	sup  *lintutil.Suppressor
+	sum  *summary.Result
 	// tracked holds the objects (env plus local aliases) whose value is
 	// round-scoped: retaining any of them past Step is a violation.
 	tracked map[types.Object]bool
+	// goCalls marks call expressions that are the operand of a go
+	// statement: checkGo reports those, so the synchronous call-site
+	// check skips them rather than double-reporting.
+	goCalls map[*ast.CallExpr]bool
 }
 
 // propagate grows the tracked set with local variables assigned from a
@@ -91,7 +108,22 @@ func (c *checker) propagate(body *ast.BlockStmt) {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				if len(n.Lhs) != len(n.Rhs) {
-					return true // multi-value call/map/type-assert form: results are fresh values
+					// Multi-value form: a call whose summary launders a
+					// tracked argument into its results taints every
+					// reference-carrying destination (v, err := wrap(env)).
+					if len(n.Rhs) == 1 && c.multiValueTracked(n.Rhs[0]) {
+						for _, lhs := range n.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok {
+								obj := c.objOf(id)
+								if obj != nil && !c.isPackageLevel(obj) && !c.tracked[obj] &&
+									lintutil.RefCarrying(obj.Type()) {
+									c.tracked[obj] = true
+									changed = true
+								}
+							}
+						}
+					}
+					return true
 				}
 				for i, rhs := range n.Rhs {
 					if !c.trackedExpr(rhs) {
@@ -134,6 +166,7 @@ func (c *checker) check(body *ast.BlockStmt) {
 				c.report(n.Value.Pos(), "round-scoped %s sent on a channel", c.describe(n.Value))
 			}
 		case *ast.GoStmt:
+			c.goCalls[n.Call] = true
 			c.checkGo(n)
 		case *ast.ReturnStmt:
 			for _, r := range n.Results {
@@ -141,9 +174,82 @@ func (c *checker) check(body *ast.BlockStmt) {
 					c.report(r.Pos(), "round-scoped %s returned, escaping the Step call", c.describe(r))
 				}
 			}
+		case *ast.CallExpr:
+			if !c.goCalls[n] {
+				c.checkCall(n)
+			}
 		}
 		return true
 	})
+}
+
+// checkCall flags synchronous (and deferred) calls that hand a tracked
+// value to a callee whose summary says it retains that argument slot —
+// the h.save(env) edge the intraprocedural pass could not see. Callees
+// without a summary (interface methods, function values) are assumed
+// non-retaining.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	callee := summary.Callee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	s := c.sum.Of(callee)
+	if s.Retains == 0 {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s.RetainsAt(summary.RecvIndex) && c.trackedExpr(sel.X) {
+			c.report(sel.X.Pos(),
+				"round-scoped %s is receiver of %s, which retains it past the call",
+				c.describe(sel.X), callee.Name())
+		}
+	}
+	for i, arg := range call.Args {
+		idx, ok := summary.ArgIndex(callee, i)
+		if ok && s.RetainsAt(idx) && c.trackedExpr(arg) {
+			c.report(arg.Pos(),
+				"round-scoped %s passed to %s, which retains it past the call",
+				c.describe(arg), callee.Name())
+		}
+	}
+}
+
+// multiValueTracked reports whether the single RHS of a multi-value
+// assignment yields tracked results: a call laundering a tracked
+// argument, or a comma-ok assertion on a tracked interface value.
+func (c *checker) multiValueTracked(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return c.callFlowsTracked(e)
+	case *ast.TypeAssertExpr:
+		return c.trackedExpr(e.X)
+	}
+	return false
+}
+
+// callFlowsTracked reports whether a call's results alias a tracked
+// value, per the callee's Flows summary.
+func (c *checker) callFlowsTracked(call *ast.CallExpr) bool {
+	callee := summary.Callee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return false
+	}
+	s := c.sum.Of(callee)
+	if s.Flows == 0 {
+		return false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s.FlowsAt(summary.RecvIndex) && c.trackedExpr(sel.X) {
+			return true
+		}
+	}
+	for i, arg := range call.Args {
+		idx, ok := summary.ArgIndex(callee, i)
+		if ok && s.FlowsAt(idx) && c.trackedExpr(arg) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkAssign flags assignments that store a tracked value anywhere that
@@ -234,7 +340,7 @@ func (c *checker) trackedExpr(e ast.Expr) bool {
 		return false
 	case *ast.CallExpr:
 		// append(dst, env) (or any tracked argument) yields a slice
-		// retaining the tracked value. Other call results are fresh.
+		// retaining the tracked value.
 		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
 			args := e.Args[1:]
 			for i, arg := range args {
@@ -248,8 +354,16 @@ func (c *checker) trackedExpr(e ast.Expr) bool {
 					return true
 				}
 			}
+			return false
 		}
-		return false
+		// A conversion preserves aliasing: EnvAlias(env) is still env.
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return c.trackedExpr(e.Args[0])
+		}
+		// A call whose summary launders a tracked argument (or receiver)
+		// into a return value yields a tracked result: wrap(env),
+		// env.Self(), identity helpers. Other call results are fresh.
+		return c.callFlowsTracked(e)
 	case *ast.CompositeLit:
 		for _, el := range e.Elts {
 			if kv, ok := el.(*ast.KeyValueExpr); ok {

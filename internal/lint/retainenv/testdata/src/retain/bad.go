@@ -16,10 +16,10 @@ type fieldStore struct {
 }
 
 func (b *fieldStore) Step(env *simnet.RoundEnv) {
-	b.savedEnv = env           // want `round-scoped env stored in field savedEnv`
-	b.savedInbox = env.Inbox   // want `round-scoped env\.Inbox stored in field savedInbox`
-	global = env               // want `round-scoped env stored in package-level variable global`
-	b.window = env.Inbox[1:3]  // want `round-scoped env\.Inbox stored in field window`
+	b.savedEnv = env          // want `round-scoped env stored in field savedEnv`
+	b.savedInbox = env.Inbox  // want `round-scoped env\.Inbox stored in field savedInbox`
+	global = env              // want `round-scoped env stored in package-level variable global`
+	b.window = env.Inbox[1:3] // want `round-scoped env\.Inbox stored in field window`
 	p := &env.Inbox[0]
 	b.first = p                // want `round-scoped p stored in field first`
 	b.all = append(b.all, env) // want `round-scoped value stored in field all`
@@ -32,7 +32,7 @@ func (s *spawner) Step(env *simnet.RoundEnv) {
 	go func() { // want `goroutine closure captures round-scoped env`
 		s.out = append(s.out, env.Inbox...)
 	}()
-	go record(env) // want `round-scoped env passed to a goroutine`
+	go record(env)           // want `round-scoped env passed to a goroutine`
 	go env.Broadcast("late") // want `goroutine invokes a method value retaining round-scoped state`
 }
 
@@ -45,8 +45,8 @@ type channeler struct {
 }
 
 func (c *channeler) Step(env *simnet.RoundEnv) {
-	c.envs <- env           // want `round-scoped env sent on a channel`
-	c.inboxes <- env.Inbox  // want `round-scoped env\.Inbox sent on a channel`
+	c.envs <- env          // want `round-scoped env sent on a channel`
+	c.inboxes <- env.Inbox // want `round-scoped env\.Inbox sent on a channel`
 }
 
 // closureKeeper stores a closure (and a dereferenced copy) that carry

@@ -20,12 +20,31 @@ func (g *conforming) Step(env *simnet.RoundEnv) {
 		msg := env.Inbox[0] // by-value element copy
 		g.copied = append(g.copied, msg)
 	}
-	env.Broadcast("state") // queueing within the round
+	env.Broadcast("state") // self-append inside Broadcast: the self-store exemption
 	env.Send(1, "hi")
-	inspect(env) // synchronous helper call (documented false negative)
+	inspect(env) // non-retaining helper: its summary fact proves env does not escape
 }
 
 func inspect(env *simnet.RoundEnv) {}
+
+// interprocClean uses helpers that read or launder without escaping:
+// their summaries are clean (or the laundered alias stays local), so
+// nothing is flagged.
+type interprocClean struct{ total int }
+
+func (g *interprocClean) Step(env *simnet.RoundEnv) {
+	g.total += tally(env.Inbox)
+	e := launder(env) // laundered alias stays local: fine until it escapes
+	g.total += e.Round
+}
+
+func tally(in []simnet.Received) int {
+	n := 0
+	for _, m := range in {
+		n += m.Size()
+	}
+	return n
+}
 
 // suppressed demonstrates //lint:allow: the store below is deliberate
 // test instrumentation and must NOT be reported.

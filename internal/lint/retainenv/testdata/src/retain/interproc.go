@@ -1,0 +1,60 @@
+// Interprocedural violations: retention hidden behind synchronous
+// calls and taint laundered through returns — the documented false
+// negatives of the intraprocedural pass, now caught via summary facts.
+package retain
+
+import (
+	"retainhelp"
+	"simnet"
+)
+
+// keeper's save helper stores env in a receiver field; calling it from
+// Step retains env exactly like the direct store in bad.go.
+type keeper struct {
+	env   *simnet.RoundEnv
+	inbox []simnet.Received
+}
+
+func (h *keeper) save(env *simnet.RoundEnv)      { h.env = env }
+func (h *keeper) saveInbox(in []simnet.Received) { h.inbox = in }
+
+func (h *keeper) Step(env *simnet.RoundEnv) {
+	h.save(env)            // want `round-scoped env passed to save, which retains it past the call`
+	h.saveInbox(env.Inbox) // want `round-scoped env\.Inbox passed to saveInbox, which retains it past the call`
+	stashGlobal(env)       // want `round-scoped env passed to stashGlobal, which retains it past the call`
+	retainhelp.Keep(env)   // want `round-scoped env passed to Keep, which retains it past the call`
+	defer h.save(env)      // want `round-scoped env passed to save, which retains it past the call`
+}
+
+var stashed *simnet.RoundEnv
+
+func stashGlobal(e *simnet.RoundEnv) { stashed = e }
+
+// launder returns its argument unchanged; wrap launders through a
+// multi-value return. Both results are round-scoped.
+func launder(e *simnet.RoundEnv) *simnet.RoundEnv       { return e }
+func wrap(e *simnet.RoundEnv) (*simnet.RoundEnv, error) { return e, nil }
+
+type launderer struct {
+	kept  *simnet.RoundEnv
+	items []simnet.Received
+}
+
+func (l *launderer) Step(env *simnet.RoundEnv) {
+	l.kept = launder(env) // want `round-scoped value stored in field kept`
+	v, err := wrap(env)
+	_ = err
+	l.kept = v                           // want `round-scoped v stored in field kept`
+	l.items = retainhelp.Tail(env.Inbox) // want `round-scoped value stored in field items`
+}
+
+// chained proves transitivity within the package: relay calls save, so
+// relay's own summary retains its argument, and the Step call site is
+// flagged.
+type chained struct{ k keeper }
+
+func (c *chained) relay(env *simnet.RoundEnv) { c.k.save(env) }
+
+func (c *chained) Step(env *simnet.RoundEnv) {
+	c.relay(env) // want `round-scoped env passed to relay, which retains it past the call`
+}

@@ -1,0 +1,17 @@
+// A //lint:allow directive whose excused code was refactored away must
+// itself be reported, so stale allows cannot rot in the tree. Blanket
+// "all" directives are exempt (no single pass can prove another pass
+// did not use them).
+package retain
+
+import "simnet"
+
+type tidy struct{ n int }
+
+func (o *tidy) Step(env *simnet.RoundEnv) {
+	o.n = env.Round
+	//lint:allow retainenv the store this excused was deleted in a refactor // want `unused //lint:allow retainenv directive: it suppresses no retainenv diagnostic`
+
+	//lint:allow all blanket directives are exempt from unused detection
+	o.n++
+}

@@ -1,0 +1,24 @@
+// Package retainhelp is a cross-package fixture helper: its functions
+// retain or launder their arguments, and the retainenv pass must see
+// that through the exported summary facts when analyzing package
+// retain.
+package retainhelp
+
+import "simnet"
+
+var stash []*simnet.RoundEnv
+
+// Keep retains its argument in a package global.
+func Keep(env *simnet.RoundEnv) { stash = append(stash, env) }
+
+// Tail returns a subslice aliasing its argument's backing array: the
+// result launders the caller's taint.
+func Tail(in []simnet.Received) []simnet.Received {
+	if len(in) == 0 {
+		return nil
+	}
+	return in[1:]
+}
+
+// Count reads its argument without retaining it.
+func Count(in []simnet.Received) int { return len(in) }

@@ -17,10 +17,15 @@ func (m Received) Size() int { return len(m.Payload) }
 type RoundEnv struct {
 	Round int
 	Inbox []Received
+
+	out []string
 }
 
-// Broadcast mirrors the real queueing method.
-func (env *RoundEnv) Broadcast(p string) {}
+// Broadcast mirrors the real queueing method: it appends to the env's
+// own outbox, which must NOT count as retention of the env — the
+// summary pass's self-store exemption (storing a value derived from a
+// parameter back into that same parameter retains nothing new).
+func (env *RoundEnv) Broadcast(p string) { env.out = append(env.out, p) }
 
 // Send mirrors the real unicast method.
-func (env *RoundEnv) Send(to int, p string) {}
+func (env *RoundEnv) Send(to int, p string) { env.out = append(env.out, p) }

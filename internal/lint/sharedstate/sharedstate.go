@@ -15,12 +15,18 @@
 //     or into a map or slice element (registry[id] = v, table[i] = v)
 //   - ++ and -- on the same destinations
 //   - delete on a package-level map
+//   - writes through a local pointer (or slice/map copy) bound to a
+//     package-level variable (p := &counter; *p = 1), via the alias
+//     fixpoint in lintutil.GlobalAliases
+//   - calls to functions whose uba/internal/lint/summary fact says they
+//     write package-level state — directly or transitively through
+//     further calls, across package boundaries
 //
 // Reads of package-level state are allowed (immutable configuration is
-// fine); writes through an alias obtained from a global and writes done
-// by helper functions called from Step are known false negatives
-// (see DESIGN.md). Deliberate cross-process instrumentation can be
-// suppressed with //lint:allow sharedstate <reason>.
+// fine). Remaining false negatives (see DESIGN.md): writes reached
+// through interface dispatch or function values (no static summary),
+// reflection, and unsafe. Deliberate cross-process instrumentation can
+// be suppressed with //lint:allow sharedstate <reason>.
 package sharedstate
 
 import (
@@ -28,6 +34,7 @@ import (
 	"go/types"
 
 	"uba/internal/lint/lintutil"
+	"uba/internal/lint/summary"
 
 	"golang.org/x/tools/go/analysis"
 )
@@ -37,11 +44,13 @@ var Analyzer = &analysis.Analyzer{
 	Name: "sharedstate",
 	Doc: "flag Process.Step bodies that write package-level mutable state, " +
 		"a data race under the pooled concurrent runner",
-	Run: run,
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	sup := lintutil.NewSuppressor(pass, "sharedstate")
+	sum := pass.ResultOf[summary.Analyzer].(*summary.Result)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -51,16 +60,22 @@ func run(pass *analysis.Pass) (any, error) {
 			if _, ok := lintutil.StepEnvParam(fn, pass.TypesInfo); !ok {
 				continue
 			}
-			c := &checker{pass: pass, sup: sup}
+			c := &checker{pass: pass, sup: sup, sum: sum,
+				aliases: lintutil.GlobalAliases(pass.TypesInfo, fn.Body)}
 			c.check(fn.Body)
 		}
 	}
+	sup.Done()
 	return nil, nil
 }
 
 type checker struct {
 	pass *analysis.Pass
 	sup  *lintutil.Suppressor
+	sum  *summary.Result
+	// aliases holds locals of this Step body that may reference
+	// package-level storage; writing through them is a global write.
+	aliases map[types.Object]bool
 }
 
 func (c *checker) check(body *ast.BlockStmt) {
@@ -72,6 +87,15 @@ func (c *checker) check(body *ast.BlockStmt) {
 					c.sup.Reportf(lhs.Pos(),
 						"Step writes package-level variable %s: shared mutable state races under the pooled runner",
 						v.Name())
+				} else if root := c.aliasRoot(lhs); root != nil {
+					// *p = v / p.f = v where p was bound to a global. A
+					// plain reassignment of the alias itself (p = q) only
+					// rebinds the local and is not a write.
+					if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+						c.sup.Reportf(lhs.Pos(),
+							"Step writes through %s, which aliases package-level state: shared mutable state races under the pooled runner",
+							root.Name())
+					}
 				}
 			}
 		case *ast.IncDecStmt:
@@ -79,54 +103,65 @@ func (c *checker) check(body *ast.BlockStmt) {
 				c.sup.Reportf(n.Pos(),
 					"Step writes package-level variable %s: shared mutable state races under the pooled runner",
 					v.Name())
-			}
-		case *ast.CallExpr:
-			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
-				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) == 2 {
-					if v := c.packageLevelRoot(n.Args[0]); v != nil {
-						c.sup.Reportf(n.Pos(),
-							"Step deletes from package-level map %s: shared mutable state races under the pooled runner",
-							v.Name())
-					}
+			} else if root := c.aliasRoot(n.X); root != nil {
+				if _, plain := ast.Unparen(n.X).(*ast.Ident); !plain {
+					c.sup.Reportf(n.Pos(),
+						"Step writes through %s, which aliases package-level state: shared mutable state races under the pooled runner",
+						root.Name())
 				}
 			}
+		case *ast.CallExpr:
+			c.checkCall(n)
 		}
 		return true
 	})
+}
+
+// checkCall flags delete on package-level maps and calls to functions
+// whose summary says they write package-level state (the helper-
+// mediated global write the intraprocedural pass could not see).
+func (c *checker) checkCall(n *ast.CallExpr) {
+	if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "delete" && len(n.Args) == 2 {
+				if v := c.packageLevelRoot(n.Args[0]); v != nil {
+					c.sup.Reportf(n.Pos(),
+						"Step deletes from package-level map %s: shared mutable state races under the pooled runner",
+						v.Name())
+				}
+			}
+			return
+		}
+	}
+	callee := summary.Callee(c.pass.TypesInfo, n)
+	if callee == nil {
+		return
+	}
+	if c.sum.Of(callee).WritesGlobal {
+		c.sup.Reportf(n.Pos(),
+			"Step calls %s, which writes package-level state: shared mutable state races under the pooled runner",
+			callee.Name())
+	}
+}
+
+// aliasRoot returns the local variable at the root of an lvalue when
+// that local may alias package-level storage, nil otherwise.
+func (c *checker) aliasRoot(e ast.Expr) *types.Var {
+	root := lintutil.RootIdent(e)
+	if root == nil {
+		return nil
+	}
+	obj := c.pass.TypesInfo.ObjectOf(root)
+	if obj == nil || !c.aliases[obj] {
+		return nil
+	}
+	v, _ := obj.(*types.Var)
+	return v
 }
 
 // packageLevelRoot unwraps an lvalue (selector, index, dereference
 // chains) to its root identifier and returns the corresponding variable
 // when it is package-level, nil otherwise.
 func (c *checker) packageLevelRoot(e ast.Expr) *types.Var {
-	for {
-		switch x := ast.Unparen(e).(type) {
-		case *ast.Ident:
-			v, ok := c.pass.TypesInfo.Uses[x].(*types.Var)
-			if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
-				return nil
-			}
-			return v
-		case *ast.SelectorExpr:
-			// A qualified identifier (otherpkg.Var) roots at the
-			// imported package's variable; a field access roots at its
-			// receiver expression.
-			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
-				if _, isPkg := c.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
-					v, ok := c.pass.TypesInfo.Uses[x.Sel].(*types.Var)
-					if !ok {
-						return nil
-					}
-					return v
-				}
-			}
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		default:
-			return nil
-		}
-	}
+	return lintutil.PackageLevelVar(c.pass.TypesInfo, e)
 }

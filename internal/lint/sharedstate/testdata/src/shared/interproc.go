@@ -1,0 +1,49 @@
+// Interprocedural violations: global writes hidden behind helper calls
+// and behind pointers bound to globals — the documented false negatives
+// of the intraprocedural pass, now caught via summary facts and the
+// global-alias fixpoint.
+package shared
+
+import (
+	"sharedhelp"
+	"simnet"
+)
+
+var total int
+
+// bump writes a package-level variable; calling it from Step is the
+// same race as writing directly.
+func bump() { total++ }
+
+// relay transitively writes through bump.
+func relay() { bump() }
+
+type caller struct{ rounds int }
+
+func (c *caller) Step(env *simnet.RoundEnv) {
+	bump()                 // want `Step calls bump, which writes package-level state`
+	relay()                // want `Step calls relay, which writes package-level state`
+	sharedhelp.Bump()      // want `Step calls Bump, which writes package-level state`
+	sharedhelp.Observe(2)  // want `Step calls Observe, which writes package-level state`
+	c.rounds++             // receiver state: fine
+	_ = sharedhelp.Pure(1) // read-only helper: fine
+	c.local(env.Round)     // method touching only receiver state: fine
+}
+
+func (c *caller) local(r int) { c.rounds = r }
+
+// aliaser writes through a local pointer bound to a global: the lvalue
+// root is local, but the storage is shared.
+type aliaser struct{}
+
+func (a *aliaser) Step(env *simnet.RoundEnv) {
+	p := &total
+	*p = env.Round // want `Step writes through p, which aliases package-level state`
+	m := registry
+	m[9] = 1 // want `Step writes through m, which aliases package-level state`
+	q := p
+	*q = 2 // want `Step writes through q, which aliases package-level state`
+	local := env.Round
+	lp := &local
+	*lp = 3 // local alias of a local: fine
+}

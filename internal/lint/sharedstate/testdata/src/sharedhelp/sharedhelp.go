@@ -1,0 +1,19 @@
+// Package sharedhelp is a cross-package fixture helper: its functions
+// write package-level state, and the sharedstate pass must see that
+// through the exported summary facts when analyzing package shared.
+package sharedhelp
+
+var hits int
+
+// Bump writes package-level state.
+func Bump() { hits++ }
+
+// Observe transitively writes package-level state through Bump.
+func Observe(n int) {
+	for i := 0; i < n; i++ {
+		Bump()
+	}
+}
+
+// Pure reads only.
+func Pure(n int) int { return n + hits }

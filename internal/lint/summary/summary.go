@@ -1,0 +1,941 @@
+// Package summary implements the ubalint fact pass: a per-function,
+// interprocedural effect analysis whose results the diagnostic passes
+// (retainenv, sharedstate, determinism) consume at call sites. It turns
+// the false-negative edges the intraprocedural passes documented —
+// retention through a synchronous call, taint laundering through
+// returns, helper-mediated global writes, order-sensitive effects
+// hidden behind a call — into facts that cross package boundaries.
+//
+// For every function with a body the pass computes a FuncSummary:
+//
+//   - Retains: a bitmask over the parameters (receiver first) whose
+//     value may be stored somewhere that outlives the call — a field of
+//     another parameter, a package-level variable, a map/slice element
+//     reachable from either, a channel, a goroutine, or an argument
+//     position of a callee that itself retains it.
+//   - Flows: a bitmask over the parameters that may alias a return
+//     value, directly or laundered through local assignments and calls
+//     to other flowing functions.
+//   - WritesGlobal: the function writes package-level state, directly,
+//     through a local pointer bound to a global, or by calling a
+//     function that does.
+//   - OrderSensitive: calling the function has an observable effect
+//     whose result depends on call order — a channel send, an append to
+//     state reachable from its parameters or a global, a string
+//     concatenation onto such state, a plain (non-fold) overwrite of
+//     such state, or a call to another order-sensitive function.
+//
+// Summaries are resolved to a fixpoint over the package's internal call
+// graph (mutual recursion converges because the lattice is finite and
+// effects only accumulate) and exported as analysis.Facts, so the
+// unitchecker propagates them across package boundaries through the
+// same .vetx files that carry export data. Callees with no summary —
+// interface methods with no static callee, function values, bodyless
+// declarations — are assumed effect-free; dynamic dispatch is a
+// documented remaining edge (DESIGN.md "Static analysis").
+//
+// Standard-library packages (sources under GOROOT) are not summarized:
+// their internal state is synchronization-protected machinery outside
+// the protocol state model, so std callees fall under the
+// effect-free-by-default rule. And a declaration whose doc comment
+// carries //lint:commutative <reason> has its OrderSensitive fact
+// cleared — the sorted-insert escape hatch for operations whose final
+// state the author asserts is independent of call order.
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"uba/internal/lint/lintutil"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// MaxTracked caps the number of parameters (receiver included) a
+// summary tracks; functions with more spill the excess into the last
+// bit, which is conservative but keeps the fact a fixed-size word.
+const MaxTracked = 32
+
+// FuncSummary is the exported fact: the externally observable effects
+// of one function. The zero value means "no observable effects" and is
+// never exported (absence of a fact is the common case).
+type FuncSummary struct {
+	Retains        uint32
+	Flows          uint32
+	WritesGlobal   bool
+	OrderSensitive bool
+}
+
+// AFact marks FuncSummary as an analysis fact.
+func (*FuncSummary) AFact() {}
+
+func (s *FuncSummary) String() string {
+	var parts []string
+	if s.Retains != 0 {
+		parts = append(parts, fmt.Sprintf("retains(%b)", s.Retains))
+	}
+	if s.Flows != 0 {
+		parts = append(parts, fmt.Sprintf("flows(%b)", s.Flows))
+	}
+	if s.WritesGlobal {
+		parts = append(parts, "writesglobal")
+	}
+	if s.OrderSensitive {
+		parts = append(parts, "ordersensitive")
+	}
+	if len(parts) == 0 {
+		return "pure"
+	}
+	return strings.Join(parts, "+")
+}
+
+func (s FuncSummary) isZero() bool {
+	return s.Retains == 0 && s.Flows == 0 && !s.WritesGlobal && !s.OrderSensitive
+}
+
+// RetainsAt and FlowsAt test one tracked slot (see ArgIndex/RecvIndex).
+func (s FuncSummary) RetainsAt(i int) bool { return s.Retains&(1<<uint(i)) != 0 }
+
+// FlowsAt reports whether tracked slot i may alias a return value.
+func (s FuncSummary) FlowsAt(i int) bool { return s.Flows&(1<<uint(i)) != 0 }
+
+// RecvIndex is the tracked slot of a method's receiver.
+const RecvIndex = 0
+
+// ArgIndex maps the i'th call argument (0-based) of a call to fn onto
+// its tracked slot: the receiver of a method occupies slot 0 and shifts
+// the parameters by one; arguments beyond a variadic final parameter
+// collapse onto its slot. ok is false when fn takes no parameters or
+// the slot falls outside the tracked range.
+func ArgIndex(fn *types.Func, i int) (int, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	off := 0
+	if sig.Recv() != nil {
+		off = 1
+	}
+	n := sig.Params().Len()
+	if n == 0 {
+		return 0, false
+	}
+	if i >= n {
+		i = n - 1 // variadic tail
+	}
+	idx := off + i
+	if idx >= MaxTracked {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Analyzer is the summary pass. It reports no diagnostics; it exists
+// for its facts and its Result.
+var Analyzer = &analysis.Analyzer{
+	Name:       "summary",
+	Doc:        "compute per-function retention, flow, global-write, and order-sensitivity facts for the ubalint passes",
+	Run:        run,
+	FactTypes:  []analysis.Fact{(*FuncSummary)(nil)},
+	ResultType: reflect.TypeOf((*Result)(nil)),
+}
+
+// Result looks up function summaries: locally computed ones for the
+// package under analysis, imported facts for everything else. The
+// consuming passes hold it via pass.ResultOf[summary.Analyzer].
+type Result struct {
+	pass  *analysis.Pass
+	local map[*types.Func]FuncSummary
+}
+
+// Of returns fn's summary, or the zero summary when fn is nil or has
+// no recorded effects (bodyless functions, interface methods, functions
+// of packages analyzed without the pass).
+func (r *Result) Of(fn *types.Func) FuncSummary {
+	if fn == nil {
+		return FuncSummary{}
+	}
+	if s, ok := r.local[fn]; ok {
+		return s
+	}
+	var s FuncSummary
+	r.pass.ImportObjectFact(fn, &s) // leaves the zero value when absent
+	return s
+}
+
+// Callee resolves the statically-known called function of call: a
+// package-level function, a method with a concrete receiver, or an
+// interface method identifier. Returns nil for builtins, conversions,
+// and calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return typeutil.StaticCallee(info, call)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := &Result{pass: pass, local: make(map[*types.Func]FuncSummary)}
+
+	// Standard-library packages get no summaries: their internal state
+	// (fmt's printer pool, testing's output buffer, sync's machinery) is
+	// synchronization-protected plumbing outside the protocol state
+	// model, and structural summaries of it would flag every
+	// fmt.Sprintf call as a shared-state write. With no facts exported,
+	// std callees fall under the effect-free-by-default rule.
+	if inGOROOT(pass) {
+		return res, nil
+	}
+
+	// Collect every function declaration with a body, noting which carry
+	// a //lint:commutative directive.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	commutative := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			res.local[fn] = FuncSummary{}
+			commutative[fn] = commutativeDirective(fd)
+		}
+	}
+
+	// Fixpoint over the package-internal call graph: recompute every
+	// summary against the current ones until nothing grows. Effects only
+	// accumulate (the lattice is a finite powerset plus two booleans),
+	// so mutual recursion converges.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			s := analyzeFunc(pass, res, fn, fd)
+			if commutative[fn] {
+				s.OrderSensitive = false
+			}
+			if s != res.local[fn] {
+				res.local[fn] = s
+				changed = true
+			}
+		}
+	}
+
+	// Export non-trivial summaries so downstream packages see them.
+	for fn, s := range res.local {
+		if !s.isZero() {
+			s := s
+			pass.ExportObjectFact(fn, &s)
+		}
+	}
+	return res, nil
+}
+
+// inGOROOT reports whether the package under analysis lives in the Go
+// standard library, detected by its source location. The GOROOT seen
+// here is the toolchain's build-time root (or the GOROOT environment
+// variable), which matches because go vet drives this binary with the
+// same toolchain that built it; a mismatch degrades to analyzing std,
+// which is noisy but never wrong about our own packages.
+func inGOROOT(pass *analysis.Pass) bool {
+	root := build.Default.GOROOT
+	if root == "" || len(pass.Files) == 0 {
+		return false
+	}
+	file := pass.Fset.Position(pass.Files[0].Pos()).Filename
+	return strings.HasPrefix(file, filepath.Clean(root)+string(filepath.Separator))
+}
+
+// commutativeDirective reports whether fd's doc comment carries
+//
+//	//lint:commutative <reason>
+//
+// declaring that the function's order-sensitive-looking effect is in
+// fact independent of call order — the sorted-insert shape (ids.Set.Add
+// appends, but the resulting set is identical under any insertion
+// order). The directive clears only OrderSensitive; retention and
+// global-write facts are kept. Like the fold carve-outs, it is a
+// documented trust boundary: the analysis takes the author's word. A
+// directive with no reason is inert.
+func commutativeDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//lint:commutative")
+		if ok && len(strings.Fields(rest)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// funcState is the per-function analysis state.
+type funcState struct {
+	pass *analysis.Pass
+	res  *Result
+	fd   *ast.FuncDecl
+	// taint maps an object (parameter or local) to the set of parameter
+	// slots whose memory it may alias. Parameters seed their own slot.
+	taint map[types.Object]uint32
+	// paramSlot maps each tracked parameter object to its slot.
+	paramSlot map[types.Object]int
+	// globalAliases holds locals that may reference package-level
+	// storage (see lintutil.GlobalAliases).
+	globalAliases map[types.Object]bool
+	// namedResults are the declared result variables, for bare returns.
+	namedResults []types.Object
+	out          FuncSummary
+}
+
+func analyzeFunc(pass *analysis.Pass, res *Result, fn *types.Func, fd *ast.FuncDecl) FuncSummary {
+	st := &funcState{
+		pass:          pass,
+		res:           res,
+		fd:            fd,
+		taint:         make(map[types.Object]uint32),
+		paramSlot:     make(map[types.Object]int),
+		globalAliases: lintutil.GlobalAliases(pass.TypesInfo, fd.Body),
+	}
+
+	// Seed parameter slots: receiver first, then parameters, skipping
+	// slots (but not positions) for values that cannot carry references
+	// — retaining a copied int is not retention of caller memory.
+	slot := 0
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			names := field.Names
+			if len(names) == 0 {
+				slot++ // unnamed parameter still occupies its slot
+				continue
+			}
+			for _, name := range names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if ok && slot < MaxTracked && lintutil.RefCarrying(obj.Type()) {
+					st.paramSlot[obj] = slot
+					st.taint[obj] = 1 << uint(slot)
+				}
+				slot++
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					st.namedResults = append(st.namedResults, obj)
+				}
+			}
+		}
+	}
+
+	st.propagate()
+	st.findSinks()
+	return st.out
+}
+
+// propagate grows the taint map to a fixpoint: locals assigned from a
+// tainted expression alias its parameters, container locals absorb the
+// taint of values stored into them, and call results inherit the taint
+// of arguments the callee's Flows fact launders through.
+func (st *funcState) propagate() {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(st.fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if st.assignTaint(n.Lhs[i], st.taintOf(rhs)) {
+							changed = true
+						}
+					}
+				} else if len(n.Rhs) == 1 {
+					// Multi-value form: a call, map index, or type
+					// assertion. Taint every reference-carrying result
+					// (we do not track which result position flows).
+					m := st.multiTaint(n.Rhs[0])
+					for _, lhs := range n.Lhs {
+						if st.assignTaint(lhs, m) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, v := range n.Values {
+						if st.assignTaint(n.Names[i], st.taintOf(v)) {
+							changed = true
+						}
+					}
+				} else if len(n.Values) == 1 {
+					m := st.multiTaint(n.Values[0])
+					for _, name := range n.Names {
+						if st.assignTaint(name, m) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// assignTaint merges mask into the object named by lhs. Plain locals
+// alias; stores into a local container (buf.f = x, buf[i] = x) taint
+// the container, so a later escape of the container carries the mask.
+func (st *funcState) assignTaint(lhs ast.Expr, mask uint32) bool {
+	if mask == 0 {
+		return false
+	}
+	root := lintutil.RootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	obj := st.pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	if v, ok := obj.(*types.Var); !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false // globals are sinks, not aliases; non-vars ignored
+	}
+	if _, isParam := st.paramSlot[obj]; isParam {
+		// Storing into a parameter-rooted container is a sink (the value
+		// escapes through the parameter), handled by findSinks. Plain
+		// reassignment of the parameter name itself still aliases.
+		if _, plain := ast.Unparen(lhs).(*ast.Ident); !plain {
+			return false
+		}
+	}
+	if st.taint[obj]&mask == mask {
+		return false
+	}
+	st.taint[obj] |= mask
+	return true
+}
+
+// taintOf returns the parameter slots whose memory e may alias.
+// The rules mirror retainenv's single-value tracking, generalized to
+// masks and arbitrary parameters: subslices and dereferences preserve
+// aliasing, by-value element and field copies of non-reference types
+// sever it, composite literals and closures union their parts, and
+// call results launder the taint of arguments the callee Flows.
+func (st *funcState) taintOf(e ast.Expr) uint32 {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := st.pass.TypesInfo.ObjectOf(e); obj != nil {
+			return st.taint[obj]
+		}
+	case *ast.SelectorExpr:
+		base := st.taintOf(e.X)
+		if base == 0 {
+			return 0
+		}
+		// A method value bound to a tainted receiver retains it; a field
+		// of reference-carrying type shares memory with the base.
+		if sel, ok := st.pass.TypesInfo.Selections[e]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				return base
+			case types.FieldVal:
+				if lintutil.RefCarrying(sel.Type()) {
+					return base
+				}
+			}
+		}
+		return 0
+	case *ast.SliceExpr:
+		return st.taintOf(e.X) // subslice shares the backing array
+	case *ast.StarExpr:
+		return st.taintOf(e.X) // *p copies headers that still share referents
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return 0
+		}
+		if idx, ok := ast.Unparen(e.X).(*ast.IndexExpr); ok {
+			return st.taintOf(idx.X) // &s[i] points into the backing array
+		}
+		return st.taintOf(e.X)
+	case *ast.IndexExpr:
+		// s[i] copies the element out; only reference-carrying elements
+		// keep aliasing the container's memory.
+		if t := st.pass.TypesInfo.TypeOf(e); t != nil && lintutil.RefCarrying(t) {
+			return st.taintOf(e.X)
+		}
+		return 0
+	case *ast.TypeAssertExpr:
+		return st.taintOf(e.X)
+	case *ast.CallExpr:
+		return st.callTaint(e)
+	case *ast.CompositeLit:
+		var m uint32
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			m |= st.taintOf(el)
+		}
+		return m
+	case *ast.FuncLit:
+		return st.capturedTaint(e)
+	}
+	return 0
+}
+
+// multiTaint is taintOf for the single right-hand side of a multi-value
+// assignment (call, type assertion, or map index with ok).
+func (st *funcState) multiTaint(e ast.Expr) uint32 {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return st.callTaint(e)
+	case *ast.TypeAssertExpr:
+		return st.taintOf(e.X)
+	case *ast.IndexExpr:
+		if t := st.pass.TypesInfo.TypeOf(ast.Expr(e)); t != nil && lintutil.RefCarrying(t) {
+			return st.taintOf(e.X)
+		}
+	}
+	return 0
+}
+
+// callTaint returns the taint of a call expression's results: append
+// splices its operands' aliasing together, conversions preserve it, and
+// ordinary calls launder the taint of arguments (and receiver) whose
+// slots the callee's summary marks as flowing into a return value.
+func (st *funcState) callTaint(call *ast.CallExpr) uint32 {
+	// Conversions preserve aliasing ([]byte(s) copies, but T(ptr),
+	// Named(slice) alias; be conservative and keep the taint).
+	if tv, ok := st.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return st.taintOf(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() != "append" || len(call.Args) == 0 {
+				return 0
+			}
+			// append's result aliases the destination; spliced-in slices
+			// (without ...) alias too. An ellipsis argument copies the
+			// elements out, which severs element-value aliasing for
+			// non-reference element types only if the element type says
+			// so — but the destination's taint dominates anyway, so the
+			// retainenv convention (ellipsis copy is safe) is kept.
+			m := st.taintOf(call.Args[0])
+			for i, arg := range call.Args[1:] {
+				if call.Ellipsis.IsValid() && i == len(call.Args[1:])-1 {
+					continue
+				}
+				m |= st.taintOf(arg)
+			}
+			return m
+		}
+	}
+	callee := Callee(st.pass.TypesInfo, call)
+	if callee == nil {
+		return 0 // function values, dynamic dispatch: documented edge
+	}
+	s := st.res.Of(callee)
+	if s.Flows == 0 {
+		return 0
+	}
+	var m uint32
+	if recv := receiverExpr(call); recv != nil && s.FlowsAt(RecvIndex) {
+		m |= st.taintOf(recv)
+	}
+	for i, arg := range call.Args {
+		idx, ok := ArgIndex(callee, i)
+		if ok && s.FlowsAt(idx) {
+			m |= st.taintOf(arg)
+		}
+	}
+	return m
+}
+
+// capturedTaint unions the taint of every free variable referenced
+// inside fl.
+func (st *funcState) capturedTaint(fl *ast.FuncLit) uint32 {
+	var m uint32
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.pass.TypesInfo.ObjectOf(id); obj != nil {
+				m |= st.taint[obj]
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// receiverExpr returns the receiver expression of a method call, or nil
+// for package-qualified and plain function calls.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// findSinks walks the body once, accumulating the summary's effects.
+func (st *funcState) findSinks() {
+	// funcDepth tracks nesting inside function literals: returns there
+	// go to the literal's caller (within this call), not to ours.
+	funcDepth := 0
+	var stack []ast.Node
+	ast.Inspect(st.fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok {
+				funcDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			funcDepth++
+		case *ast.AssignStmt:
+			st.sinkAssign(n, stack)
+		case *ast.IncDecStmt:
+			if st.isGlobalWrite(n.X) {
+				st.out.WritesGlobal = true
+			}
+		case *ast.SendStmt:
+			// A send on a channel reachable by our callers (through a
+			// parameter or a global) is an order-observable effect; a
+			// send on a frame-local channel is not.
+			if st.taintOf(n.Chan) != 0 || st.isGlobalWrite(n.Chan) {
+				st.out.OrderSensitive = true
+			}
+			st.out.Retains |= st.taintOf(n.Value)
+		case *ast.GoStmt:
+			st.out.Retains |= st.goTaint(n)
+		case *ast.ReturnStmt:
+			if funcDepth == 0 {
+				if len(n.Results) == 0 {
+					for _, obj := range st.namedResults {
+						st.out.Flows |= st.taint[obj]
+					}
+				}
+				for _, r := range n.Results {
+					st.out.Flows |= st.taintOf(r)
+				}
+			}
+		case *ast.CallExpr:
+			st.sinkCall(n)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// goTaint returns everything a go statement captures: arguments, a
+// tainted method-value callee, and closure-captured locals.
+func (st *funcState) goTaint(n *ast.GoStmt) uint32 {
+	var m uint32
+	for _, arg := range n.Call.Args {
+		m |= st.taintOf(arg)
+	}
+	switch fun := ast.Unparen(n.Call.Fun).(type) {
+	case *ast.FuncLit:
+		m |= st.capturedTaint(fun)
+	default:
+		m |= st.taintOf(n.Call.Fun)
+	}
+	return m
+}
+
+// isGlobalWrite reports whether the lvalue writes package-level state:
+// directly, or through a local alias bound to a global.
+func (st *funcState) isGlobalWrite(lhs ast.Expr) bool {
+	if lintutil.PackageLevelVar(st.pass.TypesInfo, lhs) != nil {
+		return true
+	}
+	if root := lintutil.RootIdent(lhs); root != nil {
+		if obj := st.pass.TypesInfo.ObjectOf(root); obj != nil && st.globalAliases[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// writesShared reports whether lhs denotes state observable after the
+// call: rooted at a parameter, a global, or a global alias. Locals that
+// never escape are invisible to callers.
+func (st *funcState) writesShared(lhs ast.Expr) bool {
+	if st.isGlobalWrite(lhs) {
+		return true
+	}
+	root := lintutil.RootIdent(lhs)
+	if root == nil {
+		return true // call-result base (f().x = v): conservative
+	}
+	obj := st.pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	if _, isParam := st.paramSlot[obj]; isParam {
+		// Writing *through* a parameter touches caller-visible memory
+		// only when the access path crosses a reference (p.f, *p, s[i]);
+		// reassigning the parameter variable itself is local.
+		_, plain := ast.Unparen(lhs).(*ast.Ident)
+		return !plain
+	}
+	return false
+}
+
+// sinkAssign classifies one assignment: escapes of tainted values,
+// global writes, and order-sensitive shared-state updates.
+func (st *funcState) sinkAssign(n *ast.AssignStmt, stack []ast.Node) {
+	if len(n.Lhs) != len(n.Rhs) && len(n.Rhs) != 1 {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if len(n.Lhs) == len(n.Rhs) {
+			rhs = n.Rhs[i]
+		} else {
+			rhs = n.Rhs[0]
+		}
+
+		// Global-write effect (taint-independent). := never writes a
+		// global; every other assign token can.
+		if n.Tok != token.DEFINE && st.isGlobalWrite(lhs) {
+			st.out.WritesGlobal = true
+		}
+
+		// Escape of a tainted value.
+		var m uint32
+		if len(n.Lhs) == len(n.Rhs) {
+			m = st.taintOf(rhs)
+		} else {
+			m = st.multiTaint(rhs)
+		}
+		if m != 0 {
+			st.sinkStore(lhs, m)
+		}
+
+		// Order-sensitive shared-state update.
+		if st.orderSensitiveWrite(n, lhs, rhs, stack) {
+			st.out.OrderSensitive = true
+		}
+	}
+}
+
+// sinkStore records the escape caused by storing a value with taint
+// mask m into lhs. Stores into a parameter's object drop that
+// parameter's own bit: writing a value derived from p back into p (the
+// Broadcast-appends-to-its-receiver shape) retains nothing new.
+func (st *funcState) sinkStore(lhs ast.Expr, m uint32) {
+	lhs = ast.Unparen(lhs)
+	if _, plain := lhs.(*ast.Ident); plain {
+		// Plain identifier: a global is an escape, a local only aliases
+		// (handled by propagate).
+		if lintutil.PackageLevelVar(st.pass.TypesInfo, lhs) != nil {
+			st.out.Retains |= m
+		}
+		return
+	}
+	root := lintutil.RootIdent(lhs)
+	if root == nil {
+		st.out.Retains |= m // f().field = x: conservative
+		return
+	}
+	obj := st.pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if slot, ok := st.paramSlot[obj]; ok {
+		st.out.Retains |= m &^ (1 << uint(slot))
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		st.out.Retains |= m
+		return
+	}
+	if st.globalAliases[obj] {
+		st.out.Retains |= m
+		return
+	}
+	// Store into a local container: propagate() already tainted it, and
+	// its own escape (if any) carries the mask.
+}
+
+// orderSensitiveWrite reports whether this assignment is an observable
+// effect whose outcome depends on the order of calls: an append to
+// shared state, a string concatenation onto it, or a plain last-writer
+// overwrite of it that is not one of the recognized order-independent
+// folds (constant store, self-compare min/max, tie-broken guard).
+func (st *funcState) orderSensitiveWrite(n *ast.AssignStmt, lhs, rhs ast.Expr, stack []ast.Node) bool {
+	if !st.writesShared(lhs) {
+		return false
+	}
+	// Element writes (m[k] = v, s[i] = v) are keyed: the caller's
+	// argument selects the slot, so distinct calls do not interfere.
+	// (A helper writing a *fixed* key is a documented remaining edge.)
+	if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+		return false
+	}
+	switch n.Tok {
+	case token.ADD_ASSIGN:
+		t := st.pass.TypesInfo.TypeOf(lhs)
+		if t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return true // s += v concatenates in call order
+			}
+		}
+		return false // numeric += is commutative
+	case token.ASSIGN:
+		// Idempotent constant store: x = true from any call order
+		// converges.
+		if tv, ok := st.pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+			return false
+		}
+		// append to shared state collects in call order.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					return true
+				}
+			}
+		}
+		// Guarded folds: a condition comparing the destination against
+		// the stored value (min/max) or containing an explicit tie-break
+		// (==, Less, Compare) keeps the result order-independent.
+		if foldGuard(lhs, rhs, stack) {
+			return false
+		}
+		return true
+	}
+	return false // other op-assigns (-=, |=, ...) are commutative enough
+}
+
+// foldGuard reports whether an enclosing if/switch condition makes the
+// write order-independent: it relates the destination to the stored
+// value with a relational operator, or carries an explicit equality /
+// Less / Compare tie-break. This mirrors the determinism pass's
+// intraprocedural carve-outs and shares their documented trust boundary
+// (the comparison is assumed to be a total order).
+func foldGuard(lhs, rhs ast.Expr, stack []ast.Node) bool {
+	lhsStr := types.ExprString(ast.Unparen(lhs))
+	rhsStr := types.ExprString(ast.Unparen(rhs))
+	for _, n := range stack {
+		var conds []ast.Expr
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			conds = append(conds, n.Cond)
+		case *ast.CaseClause:
+			conds = append(conds, n.List...)
+		case *ast.SwitchStmt, *ast.BlockStmt, *ast.AssignStmt, *ast.ExprStmt:
+			continue
+		default:
+			continue
+		}
+		for _, cond := range conds {
+			found := false
+			ast.Inspect(cond, func(cn ast.Node) bool {
+				switch cn := cn.(type) {
+				case *ast.BinaryExpr:
+					switch cn.Op {
+					case token.LSS, token.GTR, token.LEQ, token.GEQ:
+						x := types.ExprString(ast.Unparen(cn.X))
+						y := types.ExprString(ast.Unparen(cn.Y))
+						if (x == rhsStr && y == lhsStr) || (x == lhsStr && y == rhsStr) {
+							found = true
+						}
+					case token.EQL:
+						found = true // explicit tie-break
+					}
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(cn.Fun).(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Less", "Compare":
+							found = true
+						}
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sinkCall applies the callee's summary at a call site: tainted
+// arguments passed into retaining slots escape, a callee that writes
+// globals makes this function write globals, and an order-sensitive
+// callee makes this function order-sensitive — unless its receiver is
+// a local born in this function, in which case the effect cannot be
+// observed by our callers through that call.
+func (st *funcState) sinkCall(call *ast.CallExpr) {
+	callee := Callee(st.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	s := st.res.Of(callee)
+	if s.isZero() {
+		return
+	}
+	if s.WritesGlobal {
+		st.out.WritesGlobal = true
+	}
+	if s.OrderSensitive && !st.localReceiver(call) {
+		st.out.OrderSensitive = true
+	}
+	if s.Retains != 0 {
+		if recv := receiverExpr(call); recv != nil && s.RetainsAt(RecvIndex) {
+			st.out.Retains |= st.taintOf(recv)
+		}
+		for i, arg := range call.Args {
+			idx, ok := ArgIndex(callee, i)
+			if ok && s.RetainsAt(idx) {
+				st.out.Retains |= st.taintOf(arg)
+			}
+		}
+	}
+}
+
+// localReceiver reports whether call is a method call whose receiver
+// roots at a variable declared inside this function (and not a
+// parameter): effects confined to such a receiver die with the frame.
+func (st *funcState) localReceiver(call *ast.CallExpr) bool {
+	recv := receiverExpr(call)
+	if recv == nil {
+		return false
+	}
+	root := lintutil.RootIdent(recv)
+	if root == nil {
+		return false
+	}
+	obj := st.pass.TypesInfo.ObjectOf(root)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false
+	}
+	if _, isParam := st.paramSlot[obj]; isParam {
+		return false
+	}
+	if st.globalAliases[obj] {
+		return false
+	}
+	// A local that aliases a parameter still reaches caller memory.
+	return st.taint[obj] == 0 &&
+		v.Pos() >= st.fd.Body.Pos() && v.Pos() <= st.fd.Body.End()
+}

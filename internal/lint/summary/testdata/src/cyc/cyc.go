@@ -1,0 +1,19 @@
+// Package cyc is the termination fixture: Ping and Pong are mutually
+// recursive, so the fixpoint must stabilize rather than loop. Each ends
+// up with the union of the cycle's effects.
+package cyc
+
+var beats int
+
+func Ping(d int) { // want `summary: writesglobal`
+	beats++
+	if d > 0 {
+		Pong(d - 1)
+	}
+}
+
+func Pong(d int) { // want `summary: writesglobal`
+	if d > 0 {
+		Ping(d - 1)
+	}
+}

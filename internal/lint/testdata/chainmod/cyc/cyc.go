@@ -1,0 +1,20 @@
+// Package cyc proves the summary fixpoint terminates under the real
+// unitchecker: Ping and Pong are mutually recursive. No Step methods
+// and no map ranges live here, so go vet must report nothing for this
+// package — it just has to finish.
+package cyc
+
+var beats int
+
+func Ping(d int) {
+	beats++
+	if d > 0 {
+		Pong(d - 1)
+	}
+}
+
+func Pong(d int) {
+	if d > 0 {
+		Ping(d - 1)
+	}
+}

@@ -1,0 +1,28 @@
+// Package proto is where the diagnostics must land: its Step method
+// and map range look innocent intraprocedurally — every violation is
+// two package hops away, visible only through summary facts.
+package proto
+
+import (
+	"chainmod/helper"
+	"chainmod/simnet"
+)
+
+// Node is a protocol process.
+type Node struct{ seen int }
+
+// Step hands the round env to helper.Save, which retains it in leaf's
+// package state; Note races through leaf.Bump. Both are flagged here.
+func (n *Node) Step(env *simnet.RoundEnv) {
+	helper.Save(env)
+	helper.Note()
+	n.seen += helper.Tally(env.Inbox)
+	env.Broadcast("ok")
+}
+
+// Fan leaks map iteration order into leaf's journal.
+func Fan(m map[int]string) {
+	for _, v := range m {
+		helper.Relay(v)
+	}
+}

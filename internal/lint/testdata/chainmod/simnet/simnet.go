@@ -1,0 +1,21 @@
+// Package simnet is the chainmod stand-in for uba/internal/simnet: the
+// analyzers match RoundEnv by package name + type name, so Step methods
+// in this module behave like real protocol code under go vet.
+package simnet
+
+// Received mirrors the value-type delivered message.
+type Received struct {
+	From    int
+	Payload string
+}
+
+// RoundEnv mirrors the round view handed to Process.Step.
+type RoundEnv struct {
+	Round int
+	Inbox []Received
+
+	out []string
+}
+
+// Broadcast appends to the env's own outbox (the self-store exemption).
+func (env *RoundEnv) Broadcast(p string) { env.out = append(env.out, p) }

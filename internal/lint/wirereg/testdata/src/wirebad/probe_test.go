@@ -1,0 +1,9 @@
+// Payload implementations declared in _test.go files never travel the
+// wire: the pass must skip them even though this one is registered
+// nowhere.
+package wirebad
+
+type testProbe struct{}
+
+func (testProbe) Kind() Kind               { return KindA }
+func (testProbe) appendTo(b []byte) []byte { return b }

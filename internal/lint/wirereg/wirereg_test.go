@@ -1,0 +1,15 @@
+package wirereg_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/linttest"
+	"uba/internal/lint/wirereg"
+)
+
+// Test runs the pass over a stand-in wire package with every
+// registration mistake (wirebad) and its fully-registered twin
+// (wiregood, no annotations).
+func Test(t *testing.T) {
+	linttest.Run(t, "testdata", wirereg.Analyzer, "wirebad", "wiregood")
+}
