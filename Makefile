@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json experiments experiments-md fuzz examples vet lint clean
+.PHONY: all build test test-short race cover bench bench-json perf-smoke experiments experiments-md fuzz examples vet lint clean
 
 all: vet lint test
 
@@ -51,6 +51,12 @@ bench:
 # tracked in-repo; regenerate after touching internal/simnet.
 bench-json:
 	$(GO) run ./cmd/ubabench -benchjson -benchout BENCH_simnet.json
+
+# Warn-only perf regression smoke: re-measures the n=256 round/step/route
+# benchmarks and diffs ns/op against the committed BENCH_simnet.json.
+# Never fails on a slow run (CI timing is noisy); read the output.
+perf-smoke:
+	$(GO) run ./cmd/ubabench -perfsmoke
 
 # Regenerate every experiment table (E1-E21) as text.
 experiments:

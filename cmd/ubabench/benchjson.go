@@ -11,19 +11,28 @@ import (
 	"uba/internal/simnet"
 )
 
-// benchSizes are the system sizes the round-engine micro-benchmarks
+// benchSizes are the system sizes the full-round micro-benchmarks
 // sweep; n=256 is the size the perf acceptance gate tracks.
-var benchSizes = []int{32, 128, 256, 512}
+var benchSizes = []int{32, 128, 256, 512, 1024, 2048}
 
-// engineBenchResult is one BenchmarkRoundEngine* measurement in
-// BENCH_simnet.json.
+// phaseSizes are the sizes the phase-split (step-only / route-only)
+// benchmarks sweep. The split attributes round time to the half that
+// spends it: step is the worker-pool dispatch + Step calls, route is
+// block-sort + dedup + arena sizing + sharded delivery.
+var phaseSizes = []int{256, 512, 1024}
+
+// engineBenchResult is one benchmark measurement in BENCH_simnet.json.
 type engineBenchResult struct {
 	// Name mirrors the `go test -bench` benchmark name.
 	Name string `json:"name"`
 	// Runner is "sequential" or "concurrent".
 	Runner string `json:"runner"`
+	// Phase is "step" or "route" for the phase-split benchmarks and
+	// empty for full-round rows (whose names stay stable across
+	// baseline generations).
+	Phase string `json:"phase,omitempty"`
 	// N is the system size; one op is one full round (n broadcasts,
-	// n² deliveries).
+	// n² deliveries) or one phase of it.
 	N           int     `json:"n"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -40,47 +49,136 @@ type engineBenchFile struct {
 	Benchmarks  []engineBenchResult `json:"benchmarks"`
 }
 
-// runBenchJSON executes the BenchmarkRoundEngine* workload (every node
+// benchSpec names one benchmark and knows how to run its loop body.
+type benchSpec struct {
+	name   string
+	runner string
+	phase  string // "" for full-round specs
+	n      int
+	bench  func(b *testing.B)
+}
+
+// roundSpec measures full rounds (step + route) via RunRound.
+func roundSpec(runner string, n int) benchSpec {
+	concurrent := runner == "concurrent"
+	return benchSpec{
+		name:   fmt.Sprintf("RoundEngine/%s/n=%d", runner, n),
+		runner: runner,
+		n:      n,
+		bench: func(b *testing.B) {
+			net, _ := simnet.NewBroadcastBench(n, b.N+2, concurrent)
+			defer net.Close()
+			// One warm-up round allocates the delivery arena (n² slots
+			// — tens of MB at the top sizes) outside the timed region,
+			// so low-iteration runs measure the steady-state per-round
+			// cost, not a one-time page-in.
+			if err := net.RunRound(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := net.RunRound(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// phaseSpec measures one half of a round in isolation via RoundPhases.
+func phaseSpec(phase, runner string, n int) benchSpec {
+	concurrent := runner == "concurrent"
+	return benchSpec{
+		name:   fmt.Sprintf("RoundEngine/%s/%s/n=%d", phase, runner, n),
+		runner: runner,
+		phase:  phase,
+		n:      n,
+		bench: func(b *testing.B) {
+			rp := simnet.NewRoundPhases(n, concurrent)
+			defer rp.Close()
+			op := func() error {
+				switch phase {
+				case "step":
+					return rp.StepOnly()
+				case "route":
+					rp.RouteOnly()
+					return nil
+				default:
+					return fmt.Errorf("unknown phase %q", phase)
+				}
+			}
+			// Warm-up: the first route pass allocates the arena; keep
+			// that outside the timed region (see roundSpec).
+			if err := op(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// allSpecs is the full `make bench-json` sweep: round benchmarks over
+// benchSizes, then the phase split over phaseSizes, for both runners.
+func allSpecs() []benchSpec {
+	var specs []benchSpec
+	for _, runner := range []string{"sequential", "concurrent"} {
+		for _, n := range benchSizes {
+			specs = append(specs, roundSpec(runner, n))
+		}
+	}
+	for _, phase := range []string{"step", "route"} {
+		for _, runner := range []string{"sequential", "concurrent"} {
+			for _, n := range phaseSizes {
+				specs = append(specs, phaseSpec(phase, runner, n))
+			}
+		}
+	}
+	return specs
+}
+
+// measure runs one spec under testing.Benchmark and packages the result.
+func measure(spec benchSpec) (engineBenchResult, error) {
+	res := testing.Benchmark(spec.bench)
+	if res.N == 0 {
+		return engineBenchResult{}, fmt.Errorf("benchmark %s failed", spec.name)
+	}
+	return engineBenchResult{
+		Name:        spec.name,
+		Runner:      spec.runner,
+		Phase:       spec.phase,
+		N:           spec.n,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runBenchJSON executes the round-engine benchmark sweep (every node
 // broadcasts every round — the n²-deliveries-per-round load of the
-// paper's protocols) for each runner and size, and writes the results
-// as JSON. This is the `make bench-json` entry point.
+// paper's protocols) and writes the results as JSON. This is the
+// `make bench-json` entry point.
 func runBenchJSON(outPath string, progress io.Writer) error {
 	file := engineBenchFile{
-		Description: "simnet round-engine micro-benchmarks (broadcast-heavy: one op = one round, n sends, n^2 deliveries); regenerate with `make bench-json`",
+		Description: "simnet round-engine micro-benchmarks (broadcast-heavy: one op = one round, n sends, n^2 deliveries; step/route rows isolate one phase); regenerate with `make bench-json`",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
-	for _, runner := range []string{"sequential", "concurrent"} {
-		concurrent := runner == "concurrent"
-		for _, n := range benchSizes {
-			n := n
-			res := testing.Benchmark(func(b *testing.B) {
-				net, _ := simnet.NewBroadcastBench(n, b.N+1, concurrent)
-				defer net.Close()
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := net.RunRound(); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-			if res.N == 0 {
-				return fmt.Errorf("round-engine benchmark failed (runner=%s n=%d)", runner, n)
-			}
-			r := engineBenchResult{
-				Name:        fmt.Sprintf("RoundEngine/%s/n=%d", runner, n),
-				Runner:      runner,
-				N:           n,
-				Iterations:  res.N,
-				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-				AllocsPerOp: res.AllocsPerOp(),
-				BytesPerOp:  res.AllocedBytesPerOp(),
-			}
-			file.Benchmarks = append(file.Benchmarks, r)
-			fmt.Fprintf(progress, "%-32s %12.0f ns/op %8d allocs/op %10d B/op\n",
-				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	for _, spec := range allSpecs() {
+		r, err := measure(spec)
+		if err != nil {
+			return err
 		}
+		file.Benchmarks = append(file.Benchmarks, r)
+		fmt.Fprintf(progress, "%-40s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
 	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

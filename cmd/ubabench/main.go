@@ -9,6 +9,7 @@
 //	ubabench -only E4   # a single experiment
 //	ubabench -markdown  # Markdown tables (EXPERIMENTS.md format)
 //	ubabench -benchjson # round-engine micro-benchmarks -> BENCH_simnet.json
+//	ubabench -perfsmoke # warn-only n=256 diff against the committed baseline
 package main
 
 import (
@@ -35,12 +36,18 @@ func run(args []string, out io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit Markdown tables")
 	benchjson := fs.Bool("benchjson", false, "run the round-engine micro-benchmarks and write them as JSON (see -benchout)")
 	benchout := fs.String("benchout", "BENCH_simnet.json", "output path for -benchjson")
+	perfsmoke := fs.Bool("perfsmoke", false, "run the n=256 round/step/route benchmarks and diff ns/op against the committed baseline (warn-only)")
+	baseline := fs.String("baseline", "BENCH_simnet.json", "baseline path for -perfsmoke")
+	tolerance := fs.Float64("tolerance", 0.5, "perf-smoke warn threshold as a fraction of baseline ns/op")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *benchjson {
 		return runBenchJSON(*benchout, out)
+	}
+	if *perfsmoke {
+		return runPerfSmoke(*baseline, *tolerance, out)
 	}
 
 	experiments := exp.All()

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// smokeSpecs is the perf-smoke subset: the n=256 full-round and
+// phase-split benchmarks for both runners. Small enough to finish in
+// seconds on a CI runner, broad enough that a regression in either
+// phase or either runner moves at least one row.
+func smokeSpecs() []benchSpec {
+	var specs []benchSpec
+	for _, runner := range []string{"sequential", "concurrent"} {
+		specs = append(specs, roundSpec(runner, 256))
+		for _, phase := range []string{"step", "route"} {
+			specs = append(specs, phaseSpec(phase, runner, 256))
+		}
+	}
+	return specs
+}
+
+// runPerfSmoke re-measures the smoke subset and diffs ns/op against the
+// committed baseline. It is warn-only: timing noise on shared CI
+// runners makes a hard gate flaky, so regressions are reported (for the
+// uploaded artifact and the job log) but never fail the build. Only a
+// broken benchmark or an unreadable baseline returns an error.
+func runPerfSmoke(baselinePath string, tolerance float64, out io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf smoke: %w", err)
+	}
+	var baseline engineBenchFile
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("perf smoke: parsing %s: %w", baselinePath, err)
+	}
+	fmt.Fprintf(out, "perf smoke vs %s (baseline %s gomaxprocs=%d; here %s gomaxprocs=%d; tolerance ±%.0f%%)\n",
+		baselinePath, baseline.GoVersion, baseline.GOMAXPROCS,
+		runtime.Version(), runtime.GOMAXPROCS(0), tolerance*100)
+	return perfSmokeDiff(baseline, smokeSpecs(), tolerance, out)
+}
+
+// perfSmokeDiff measures each spec and reports its delta against the
+// baseline row of the same name.
+func perfSmokeDiff(baseline engineBenchFile, specs []benchSpec, tolerance float64, out io.Writer) error {
+	byName := make(map[string]engineBenchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		byName[b.Name] = b
+	}
+	warnings := 0
+	for _, spec := range specs {
+		r, err := measure(spec)
+		if err != nil {
+			return fmt.Errorf("perf smoke: %w", err)
+		}
+		base, ok := byName[r.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-40s %12.0f ns/op   (no baseline row; skipped)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := (r.NsPerOp - base.NsPerOp) / base.NsPerOp
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "WARN: slower than baseline"
+			warnings++
+		}
+		fmt.Fprintf(out, "%-40s %12.0f ns/op  baseline %12.0f  %+7.1f%%  %s\n",
+			r.Name, r.NsPerOp, base.NsPerOp, delta*100, verdict)
+	}
+	if warnings > 0 {
+		fmt.Fprintf(out, "perf smoke: %d benchmark(s) exceeded the +%.0f%% tolerance — warn-only, build not failed; regenerate the baseline with `make bench-json` if the change is intentional\n",
+			warnings, tolerance*100)
+	} else {
+		fmt.Fprintln(out, "perf smoke: all benchmarks within tolerance")
+	}
+	return nil
+}

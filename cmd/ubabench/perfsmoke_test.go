@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastSpec is a benchmark spec with a near-free loop body, so the diff
+// logic can be tested without paying for a real engine benchmark.
+func fastSpec(name string) benchSpec {
+	return benchSpec{
+		name:   name,
+		runner: "sequential",
+		n:      1,
+		bench: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = i
+			}
+		},
+	}
+}
+
+func TestPerfSmokeDiffVerdicts(t *testing.T) {
+	t.Parallel()
+	baseline := engineBenchFile{
+		Benchmarks: []engineBenchResult{
+			// A sub-nanosecond loop body is far below this baseline, so
+			// the row lands inside tolerance.
+			{Name: "fast/ok", NsPerOp: 1e9},
+			// And far above this one, so the row must warn.
+			{Name: "fast/regressed", NsPerOp: 1e-6},
+		},
+	}
+	specs := []benchSpec{
+		fastSpec("fast/ok"),
+		fastSpec("fast/regressed"),
+		fastSpec("fast/unknown"),
+	}
+	var buf bytes.Buffer
+	if err := perfSmokeDiff(baseline, specs, 0.5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fast/ok", "ok",
+		"fast/regressed", "WARN: slower than baseline",
+		"fast/unknown", "no baseline row",
+		"1 benchmark(s) exceeded", "warn-only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPerfSmokeDiffAllWithinTolerance(t *testing.T) {
+	t.Parallel()
+	baseline := engineBenchFile{
+		Benchmarks: []engineBenchResult{{Name: "fast/ok", NsPerOp: 1e9}},
+	}
+	var buf bytes.Buffer
+	if err := perfSmokeDiff(baseline, []benchSpec{fastSpec("fast/ok")}, 0.5, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all benchmarks within tolerance") {
+		t.Fatalf("missing all-clear summary:\n%s", buf.String())
+	}
+}
+
+func TestPerfSmokeMissingBaseline(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-perfsmoke", "-baseline", filepath.Join(t.TempDir(), "nope.json")}, &buf); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
+func TestPerfSmokeMalformedBaseline(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-perfsmoke", "-baseline", path}, &buf); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// The committed baseline must contain every row the smoke subset
+// measures, under the exact names the differ looks up — otherwise the
+// CI step silently degrades to "no baseline row" skips.
+func TestCommittedBaselineCoversSmokeSpecs(t *testing.T) {
+	t.Parallel()
+	data, err := os.ReadFile("../../BENCH_simnet.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline engineBenchFile
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]bool, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		byName[b.Name] = true
+	}
+	for _, spec := range smokeSpecs() {
+		if !byName[spec.name] {
+			t.Errorf("baseline has no row for smoke spec %q", spec.name)
+		}
+	}
+}

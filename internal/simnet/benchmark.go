@@ -48,3 +48,73 @@ func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Coll
 	}
 	return net, col
 }
+
+// RoundPhases drives the two halves of a round — step and
+// routing/delivery — in isolation on the broadcast-heavy fixture, so
+// the phase-split benchmarks (BenchmarkStepPhase*/BenchmarkRoutePhase*
+// and the `ubabench -benchjson`/`-perfsmoke` harness) can attribute
+// time to the half that spends it. It lives in the library (not a
+// _test.go file) so cmd/ubabench can run the identical workload.
+type RoundPhases struct {
+	net      *Network
+	col      *trace.Collector
+	template []send // one round's unsorted, undeduped send stream
+	scratch  []send
+}
+
+// NewRoundPhases builds the phase-split fixture: n chatter processes
+// plus a frozen template of one round's sends for RouteOnly.
+func NewRoundPhases(n int, concurrent bool) *RoundPhases {
+	net, col := NewBroadcastBench(n, DefaultMaxRounds, concurrent)
+	rp := &RoundPhases{net: net, col: col}
+	if concurrent {
+		// RouteOnly never runs a step phase, so start the pool (the
+		// step path starts it lazily) to shard delivery like a real
+		// concurrent round.
+		net.startPool()
+	}
+	// One step phase seeds the route template. The template keeps the
+	// pre-sort, pre-dedup stream, so every RouteOnly pays the full
+	// block-sort + dedup + classify + delivery cost of a live round.
+	net.round++
+	outs, _, err := rp.step()
+	if err != nil {
+		panic(err) // chatter processes cannot fail a step
+	}
+	rp.template = append([]send(nil), outs...)
+	return rp
+}
+
+func (rp *RoundPhases) step() ([]send, int64, error) {
+	if rp.net.cfg.Concurrent {
+		return rp.net.stepConcurrent()
+	}
+	return rp.net.stepSequential()
+}
+
+// StepOnly runs one step phase (every process steps, sends are merged
+// in node order) without routing the result. Inboxes are empty, as in
+// the first round of the full benchmark.
+func (rp *RoundPhases) StepOnly() error {
+	rp.net.round++
+	_, _, err := rp.step()
+	return err
+}
+
+// RouteOnly routes one frozen round's send stream — block-local sort,
+// dedup, arena sizing, sharded delivery, Collector flush — without
+// stepping any process. The template is copied first, so the in-place
+// sort cannot make later iterations cheaper.
+func (rp *RoundPhases) RouteOnly() {
+	rp.net.round++
+	if cap(rp.scratch) < len(rp.template) {
+		rp.scratch = make([]send, len(rp.template))
+	}
+	outs := rp.scratch[:len(rp.template)]
+	copy(outs, rp.template)
+	deliveries, bytes := rp.net.route(outs)
+	rp.col.AddRound(rp.net.round, int64(len(outs)), deliveries, bytes)
+}
+
+// Close releases the underlying network's worker pool, if any.
+func (rp *RoundPhases) Close() { rp.net.Close() }

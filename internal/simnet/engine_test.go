@@ -146,6 +146,63 @@ func TestCloseReleasesPool(t *testing.T) {
 	seq.Close() // no pool: no-op
 }
 
+// On a worker error the concurrent merge must clear every result slot:
+// a stale slot would keep its sends slice — and the payloads it
+// references — alive across rounds after the network latched the error.
+func TestStepConcurrentErrorClearsResultSlices(t *testing.T) {
+	t.Parallel()
+	net := New(Config{Concurrent: true, EnforceContactRule: true})
+	// Three well-behaved broadcasters around one violator, so slots on
+	// both sides of the erroring node hold sends when the round aborts.
+	for i := ids.ID(1); i <= 4; i++ {
+		var p *recorder
+		if i == 2 {
+			p = newRecorder(i, func(env *RoundEnv) { env.Send(4, body("illegal")) })
+		} else {
+			p = newRecorder(i, func(env *RoundEnv) { env.Broadcast(body("fine")) })
+		}
+		if err := net.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer net.Close()
+	if err := net.RunRound(); !errors.Is(err, ErrContactRule) {
+		t.Fatalf("err = %v, want ErrContactRule", err)
+	}
+	for i := range net.results {
+		if net.results[i].sends != nil {
+			t.Fatalf("result slot %d retains its sends slice after an aborted round", i)
+		}
+	}
+}
+
+// Delivered inboxes are exactly-sized arena segments: append growth in
+// the delivery pass would mean the sizing pass undercounted (and could
+// tear a neighbouring segment if the capacity cap were missing).
+func TestInboxesAreExactArenaSegments(t *testing.T) {
+	t.Parallel()
+	net := New(Config{})
+	for i := ids.ID(1); i <= 5; i++ {
+		i := i
+		if err := net.Add(newRecorder(i, func(env *RoundEnv) {
+			env.Broadcast(body("b"))
+			env.Send(1+(i%5), body("u"))
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRounds(t, net, 1)
+	for _, st := range net.live {
+		if len(st.inbox) == 0 {
+			t.Fatalf("node %v received nothing", st.id)
+		}
+		if len(st.inbox) != cap(st.inbox) {
+			t.Fatalf("node %v inbox len %d != cap %d: not an exact arena segment",
+				st.id, len(st.inbox), cap(st.inbox))
+		}
+	}
+}
+
 // The engine's scratch recycling must keep rounds independent: messages
 // from round r must never leak into round r+1 inboxes and vice versa,
 // even as the backing arrays are reused.

@@ -1,0 +1,9 @@
+package simnet
+
+// forceWorkers equips n with a w-worker pool regardless of GOMAXPROCS,
+// so tests exercise real sharded routing and pooled stepping on any
+// host (CI race machines included). Callers must Close the network.
+func (n *Network) forceWorkers(w int) {
+	n.cfg.Concurrent = true
+	n.pool = newWorkerPool(w)
+}

@@ -21,18 +21,33 @@
 //     filter is exact.
 //
 // Two runners execute the same process state machines: a deterministic
-// sequential runner and a persistent worker-pool runner with a barrier
-// per round. Both produce identical executions (inboxes are canonically
-// sorted and merged in node order), which the test suite asserts.
+// sequential runner and a persistent worker-pool runner that shards
+// both halves of a round — the step phase over nodes and the
+// route/delivery phase over receivers — with a barrier between them.
+// Both produce byte-identical executions, which the test suite asserts.
+// The determinism argument: (1) pooled workers write each node's sends
+// into a per-node slot and the merge reads slots in node order, so the
+// routed send stream is independent of worker scheduling; (2) routing
+// decisions (sort, dedup, arena sizing) all happen in a single
+// deterministic prepare pass before any worker runs; (3) each delivery
+// worker owns a contiguous, disjoint range of receivers — inbox
+// segments, contact sets, event buffers, and traffic tallies are all
+// per-shard — and shard boundaries depend only on the worker count and
+// receiver count, never on timing; (4) per-shard results are reduced in
+// shard order, which is receiver order, so transcripts and reports are
+// identical for every worker count (including the sequential runner,
+// which is the one-shard instance of the same pipeline).
 //
 // # Buffer-recycling contract
 //
 // The engine recycles round-scoped buffers aggressively: the RoundEnv
 // passed to Process.Step, its Inbox slice, and the internal send buffers
-// are all reused on the next round. Process.Step therefore MUST NOT
-// retain env or env.Inbox (or any subslice of it) past the call. Copy
-// individual Received values out if state must survive the round; the
-// values themselves (sender id, payload, encoding) are safe to keep.
+// are all reused on the next round. In particular, every inbox is an
+// exactly-sized segment of one arena shared by all receivers, and the
+// arena is rewritten in place each round. Process.Step therefore MUST
+// NOT retain env or env.Inbox (or any subslice of it) past the call.
+// Copy individual Received values out if state must survive the round;
+// the values themselves (sender id, payload, encoding) are safe to keep.
 package simnet
 
 import (

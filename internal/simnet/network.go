@@ -41,7 +41,12 @@ type Config struct {
 	// rule violation) contributes no traffic.
 	Collector *trace.Collector
 	// EventLog, when non-nil, records a message-level transcript of
-	// every delivery (for debugging and the ubasim -trace flag).
+	// every delivery (for debugging and the ubasim -trace flag). The
+	// canonical transcript order is receiver-major: per round,
+	// deliveries are grouped by receiver in ascending node order, each
+	// receiver's messages in its inbox order. Both runners produce the
+	// same transcript for any worker count (per-shard event buffers are
+	// merged in receiver order; see route.go).
 	EventLog *trace.EventLog
 }
 
@@ -49,7 +54,13 @@ type Config struct {
 const DefaultMaxRounds = 10_000
 
 type procState struct {
-	proc      Process
+	proc Process
+	// id is the identifier the process registered with. The engine
+	// stamps it as the sender on every queued message (rather than
+	// re-asking proc.ID() each round), which both drops an interface
+	// call from the hot path and guarantees the per-sender grouping the
+	// block-local route sort relies on.
+	id        ids.ID
 	byzantine bool
 	inbox     []Received
 	// contacts is the set of nodes that have delivered a message to
@@ -59,9 +70,8 @@ type procState struct {
 
 	// Round-scoped scratch, recycled across rounds (see the package
 	// docs for the retention contract this imposes on Process.Step).
-	env      RoundEnv
-	sendBuf  []send
-	inboxBuf []Received
+	env     RoundEnv
+	sendBuf []send
 }
 
 // stepResult is one process's contribution to a round, produced by either
@@ -88,6 +98,22 @@ type Network struct {
 	results      []stepResult
 	bcastDigests []uint64
 	bcastEncs    []string
+
+	// Routing scratch (see route.go): the done snapshot, the surviving
+	// broadcast indices, the per-receiver unicast buckets, the exact
+	// per-receiver arena offsets, the shared inbox arena, and the
+	// per-shard delivery state.
+	doneMask  []bool
+	bcastIdx  []int32
+	uniRecv   []int32
+	uniSend   []int32
+	uniIdx    []int32
+	uniStart  []int32
+	uniCursor []int32
+	inboxOff  []int
+	arena     []Received
+	arenaLive int
+	shards    []routeShard
 
 	pool *workerPool // lazily started by the concurrent runner
 }
@@ -123,6 +149,7 @@ func (n *Network) add(p Process, byzantine bool) error {
 	}
 	st := &procState{
 		proc:      p,
+		id:        id,
 		byzantine: byzantine,
 	}
 	if n.cfg.EnforceContactRule {
@@ -235,16 +262,25 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 
 	outs := n.outs[:0]
 	var sends int64
+	var firstErr error
 	for i := range results {
 		res := &results[i]
-		if res.err != nil {
-			return nil, 0, res.err
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err // first error in node order, like the sequential runner
 		}
-		sends += int64(len(res.sends))
-		outs = append(outs, res.sends...)
+		if firstErr == nil {
+			sends += int64(len(res.sends))
+			outs = append(outs, res.sends...)
+		}
+		// Clear every slot even on the error path: a stale slot would
+		// keep its sends slice — and the payloads it references — alive
+		// across rounds after the network latched the error.
 		res.sends = nil
 	}
 	n.outs = outs
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
 	return outs, sends, nil
 }
 
@@ -253,17 +289,17 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 // immutable parts of n.
 func (n *Network) stepOne(st *procState) ([]send, error) {
 	inbox := st.inbox
+	// The inbox segment points into the round arena, which route()
+	// overwrites wholesale next round — this is what forbids
+	// Process.Step from retaining env.Inbox.
 	st.inbox = nil
-	// Recycle the inbox backing array for next round's deliveries. This
-	// is what forbids Process.Step from retaining env.Inbox.
-	st.inboxBuf = inbox[:0]
 	if st.proc.Done() {
 		return nil, nil
 	}
 	st.env = RoundEnv{
 		Round: n.round,
 		Inbox: inbox,
-		self:  st.proc.ID(),
+		self:  st.id,
 		sends: st.sendBuf[:0],
 	}
 	st.proc.Step(&st.env)
@@ -283,116 +319,6 @@ func (n *Network) stepOne(st *procState) ([]send, error) {
 		}
 	}
 	return sends, nil
-}
-
-// route fans out and filters the round's sends into next-round inboxes,
-// and returns the delivery/byte totals for the batched Collector flush.
-//
-// Sends are sorted by (from, encoding, to). That order makes three things
-// fall out for free:
-//
-//   - Inboxes are filled already sorted by (sender, encoding) — the
-//     contract RoundEnv.Inbox documents — with no per-inbox re-sort.
-//   - Exact duplicates (same sender, same target, same encoding) are
-//     adjacent, so intra-round duplicate filtering is a comparison with
-//     the previous send instead of a per-receiver set insert.
-//   - A broadcast sorts before any same-encoding unicast from the same
-//     sender (ids.None is the smallest id), so a unicast that duplicates
-//     one of its sender's broadcasts is caught by a membership check
-//     against the sender's (few) broadcast digests for the round.
-//
-// Together these cover every duplicate class of the per-receiver
-// definition — the dedup key is (sender, encoding) per receiver, and
-// cross-sender collisions are impossible since the key includes the
-// sender — while doing O(sends) dedup work instead of O(deliveries).
-// Digest comparisons short-circuit the string compares; equal digests
-// fall back to comparing full encodings, so a 64-bit collision can never
-// drop a genuinely distinct message.
-func (n *Network) route(outs []send) (deliveries, bytes int64) {
-	sort.Slice(outs, func(i, j int) bool {
-		a, b := &outs[i], &outs[j]
-		if a.from != b.from {
-			return a.from < b.from
-		}
-		if a.encoded != b.encoded {
-			return a.encoded < b.encoded
-		}
-		return a.to < b.to
-	})
-
-	// Per-sender broadcast digest set, reused (cleared, not reallocated)
-	// across rounds and sender blocks.
-	bd, be := n.bcastDigests[:0], n.bcastEncs[:0]
-	for k := range outs {
-		s := &outs[k]
-		if k > 0 {
-			p := &outs[k-1]
-			if p.from != s.from {
-				bd, be = bd[:0], be[:0]
-			} else if p.to == s.to && p.digest == s.digest && p.encoded == s.encoded {
-				// Exact duplicate of the previous send: discarded by
-				// the model.
-				continue
-			}
-		}
-		if s.to == ids.None {
-			bd = append(bd, s.digest)
-			be = append(be, s.encoded)
-			for _, st := range n.live {
-				if st.proc.Done() {
-					continue
-				}
-				deliveries, bytes = n.deliver(st, s, true, deliveries, bytes)
-			}
-			continue
-		}
-		dup := false
-		for j, d := range bd {
-			if d == s.digest && be[j] == s.encoded {
-				// Same payload already broadcast by this sender this
-				// round; the unicast copy is a duplicate for its target.
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		st, ok := n.procs[s.to]
-		if !ok || st.proc.Done() {
-			continue
-		}
-		deliveries, bytes = n.deliver(st, s, false, deliveries, bytes)
-	}
-	n.bcastDigests, n.bcastEncs = bd, be
-	return deliveries, bytes
-}
-
-// deliver appends one message to st's next-round inbox and accumulates
-// the round-local accounting.
-func (n *Network) deliver(st *procState, s *send, broadcast bool, deliveries, bytes int64) (int64, int64) {
-	if st.inbox == nil {
-		st.inbox = st.inboxBuf[:0]
-	}
-	st.inbox = append(st.inbox, Received{
-		From:    s.from,
-		Payload: s.payload,
-		encoded: s.encoded,
-	})
-	if st.contacts != nil {
-		st.contacts[s.from] = struct{}{}
-	}
-	if n.cfg.EventLog != nil {
-		n.cfg.EventLog.Record(trace.Event{
-			Round:     n.round + 1, // delivered at the start of the next round
-			From:      uint64(s.from),
-			To:        uint64(st.proc.ID()),
-			Kind:      s.payload.Kind().String(),
-			Size:      len(s.encoded),
-			Broadcast: broadcast,
-		})
-	}
-	return deliveries + 1, bytes + int64(len(s.encoded))
 }
 
 // Run executes rounds until stop returns true (checked after every round)

@@ -1,0 +1,308 @@
+package simnet
+
+import (
+	"cmp"
+	"slices"
+	"strings"
+
+	"uba/internal/ids"
+	"uba/internal/trace"
+)
+
+// This file is the routing/delivery half of a round: the O(n²) fan-out
+// that dominates broadcast-heavy protocols. It is split into a cheap
+// serial prepare pass and a delivery pass that is embarrassingly
+// parallel over receivers, so the concurrent runner can shard it across
+// the same worker pool that runs the step phase.
+//
+// The pipeline, per round:
+//
+//  1. Block-local sort (routePrepare). outs arrives grouped by sender in
+//     ascending node order — both runners merge the per-process send
+//     buffers in node order and the engine stamps from = the registered
+//     id — so the global sort by (from, encoding, to) of the old engine
+//     is equivalent to sorting each sender's block by (encoding, to).
+//     Typical blocks are tiny (a broadcast-heavy round has one send per
+//     sender), turning O(S log S) into Σ O(k log k) ≈ O(S).
+//
+//  2. Dedup + classify (routePrepare). One serial scan applies exactly
+//     the duplicate rules documented on the old route loop — adjacent
+//     exact duplicates, and unicasts duplicating a same-sender broadcast
+//     via the per-sender broadcast-digest set — and classifies each
+//     surviving send as a broadcast (index into outs) or a unicast
+//     resolved to its receiver's live index (dropped here if the target
+//     is unknown or done, matching the old delivery-time check; Done is
+//     snapshotted once per round — no process steps during routing, so
+//     the snapshot is exact). Unicasts are then bucketed per receiver
+//     with a stable counting sort, preserving send order.
+//
+//  3. Arena sizing (routePrepare). The classify pass yields the exact
+//     delivery count of every receiver (surviving broadcasts + its
+//     unicast bucket; zero if it is done), so one shared []Received
+//     arena is sized exactly and each receiver is assigned a
+//     capacity-capped segment. Inboxes are filled by index, never by
+//     growing append, and the arena itself is recycled across rounds —
+//     which is one of the reasons Process.Step must not retain
+//     env.Inbox (see the package docs).
+//
+//  4. Delivery (routeShardDeliver). Receivers are partitioned into
+//     contiguous shards. Each shard walks its receivers in node order
+//     and, per receiver, merges the broadcast list with the receiver's
+//     unicast bucket by send index — reproducing exactly the
+//     (sender, encoding)-sorted inbox the old send-major loop produced,
+//     with cache-friendly sequential writes into the arena. Every inbox,
+//     contact set, per-shard tally and per-shard event buffer is written
+//     by exactly one worker, so the pass needs no locks and its output
+//     is independent of worker scheduling.
+//
+//  5. Merge (route). Per-shard delivery/byte tallies are reduced and
+//     per-shard event buffers appended to the EventLog in shard — i.e.
+//     receiver — order, so the transcript and the Collector flush are
+//     identical for the sequential runner, for any worker count, and
+//     across runs. The canonical transcript order is receiver-major:
+//     deliveries grouped by receiver in ascending node order, each
+//     receiver's messages in inbox order.
+
+// routeShard is one worker's slice of the delivery pass: the receiver
+// range [lo, hi) plus the tallies and the event buffer that worker owns.
+// The slices are scratch, recycled across rounds.
+type routeShard struct {
+	lo, hi     int
+	deliveries int64
+	bytes      int64
+	events     []trace.Event
+}
+
+// route fans out and filters the round's sends into next-round inboxes
+// and returns the delivery/byte totals for the batched Collector flush.
+// See the pipeline comment at the top of this file; the duplicate
+// semantics are unchanged from the send-major loop it replaces (the
+// dedup key is (sender, encoding) per receiver; digests short-circuit
+// the string compares and equal digests fall back to comparing full
+// encodings, so a 64-bit collision can never drop a distinct message).
+func (n *Network) route(outs []send) (deliveries, bytes int64) {
+	n.routePrepare(outs)
+
+	nshards := 1
+	if n.cfg.Concurrent && n.pool != nil && n.pool.workers > 1 {
+		nshards = n.pool.workers
+	}
+	if cap(n.shards) < nshards {
+		n.shards = make([]routeShard, nshards)
+	}
+	shards := n.shards[:nshards]
+	n.shards = shards
+	nl := len(n.live)
+	for s := range shards {
+		shards[s].lo = s * nl / nshards
+		shards[s].hi = (s + 1) * nl / nshards
+		shards[s].deliveries = 0
+		shards[s].bytes = 0
+		shards[s].events = shards[s].events[:0]
+	}
+	if nshards == 1 {
+		n.routeShardDeliver(&shards[0], outs)
+	} else {
+		n.pool.runRoute(n, outs)
+	}
+
+	for s := range shards {
+		deliveries += shards[s].deliveries
+		bytes += shards[s].bytes
+	}
+	if n.cfg.EventLog != nil {
+		for s := range shards {
+			n.cfg.EventLog.RecordBatch(shards[s].events)
+		}
+	}
+	return deliveries, bytes
+}
+
+// routePrepare runs the serial half of routing: block-local sort, dedup
+// and classification, unicast bucketing, and exact arena sizing. After
+// it returns, routeShardDeliver can run for disjoint receiver ranges in
+// parallel with no further coordination.
+func (n *Network) routePrepare(outs []send) {
+	// (1) Block-local sort: each sender's block by (encoding, to).
+	for lo := 0; lo < len(outs); {
+		hi := lo + 1
+		for hi < len(outs) && outs[hi].from == outs[lo].from {
+			hi++
+		}
+		if hi-lo > 1 {
+			slices.SortFunc(outs[lo:hi], func(a, b send) int {
+				if c := strings.Compare(a.encoded, b.encoded); c != 0 {
+					return c
+				}
+				return cmp.Compare(a.to, b.to)
+			})
+		}
+		lo = hi
+	}
+
+	// (2) Done snapshot: Done is constant during routing (no process
+	// steps between the step barrier and the next round), so one call
+	// per receiver replaces the old per-(send, receiver) interface call.
+	nl := len(n.live)
+	n.doneMask = grown(n.doneMask, nl)
+	for i, st := range n.live {
+		n.doneMask[i] = st.proc.Done()
+	}
+
+	// (3) Dedup + classify. Same duplicate rules as the old send-major
+	// loop: under the (from, encoding, to) order, exact duplicates are
+	// adjacent (previous-send compare) and a broadcast sorts before any
+	// same-encoding unicast from the same sender (ids.None is the
+	// smallest id), so unicast-duplicates-broadcast is a membership
+	// check against the sender's per-round broadcast digests.
+	bd, be := n.bcastDigests[:0], n.bcastEncs[:0]
+	n.bcastIdx = n.bcastIdx[:0]
+	n.uniRecv = n.uniRecv[:0]
+	n.uniSend = n.uniSend[:0]
+	for k := range outs {
+		s := &outs[k]
+		if k > 0 {
+			p := &outs[k-1]
+			if p.from != s.from {
+				bd, be = bd[:0], be[:0]
+			} else if p.to == s.to && p.digest == s.digest && p.encoded == s.encoded {
+				// Exact duplicate of the previous send: discarded by
+				// the model.
+				continue
+			}
+		}
+		if s.to == ids.None {
+			bd = append(bd, s.digest)
+			be = append(be, s.encoded)
+			n.bcastIdx = append(n.bcastIdx, int32(k))
+			continue
+		}
+		dup := false
+		for j, d := range bd {
+			if d == s.digest && be[j] == s.encoded {
+				// Same payload already broadcast by this sender this
+				// round; the unicast copy is a duplicate for its target.
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		r, ok := slices.BinarySearch(n.order, s.to)
+		if !ok || n.doneMask[r] {
+			continue // unknown or halted target: dropped
+		}
+		n.uniRecv = append(n.uniRecv, int32(r))
+		n.uniSend = append(n.uniSend, int32(k))
+	}
+	n.bcastDigests, n.bcastEncs = bd, be
+
+	// (4) Bucket unicasts per receiver (stable counting sort: within a
+	// bucket, send order — and therefore the sorted order — is kept).
+	n.uniStart = grown(n.uniStart, nl+1)
+	clear(n.uniStart)
+	for _, r := range n.uniRecv {
+		n.uniStart[r+1]++
+	}
+	for i := 0; i < nl; i++ {
+		n.uniStart[i+1] += n.uniStart[i]
+	}
+	n.uniIdx = grown(n.uniIdx, len(n.uniRecv))
+	n.uniCursor = grown(n.uniCursor, nl)
+	copy(n.uniCursor, n.uniStart[:nl])
+	for j, r := range n.uniRecv {
+		n.uniIdx[n.uniCursor[r]] = n.uniSend[j]
+		n.uniCursor[r]++
+	}
+
+	// (5) Exact arena offsets: receiver i gets (surviving broadcasts +
+	// its unicast bucket) slots, zero if done. Delivering by index into
+	// pre-sized segments is what kills the append-growth churn of the
+	// old per-receiver inbox buffers.
+	n.inboxOff = grown(n.inboxOff, nl+1)
+	nb := len(n.bcastIdx)
+	off := 0
+	for i := 0; i < nl; i++ {
+		n.inboxOff[i] = off
+		if !n.doneMask[i] {
+			off += nb + int(n.uniStart[i+1]-n.uniStart[i])
+		}
+	}
+	n.inboxOff[nl] = off
+	if cap(n.arena) < off {
+		n.arena = make([]Received, off)
+	} else {
+		if off < n.arenaLive {
+			// Drop references held by last round's unused tail so the
+			// arena cannot pin payloads past their round.
+			clear(n.arena[off:n.arenaLive])
+		}
+		n.arena = n.arena[:off]
+	}
+	n.arenaLive = off
+}
+
+// routeShardDeliver fills the inboxes of the receivers in sh's range.
+// It is safe to run concurrently for disjoint shards: it writes only
+// the shard's receivers' inboxes/contact sets, the shard's own tallies
+// and event buffer, and disjoint arena segments (capacity-capped, so
+// even a pathological append could not cross into a neighbour).
+func (n *Network) routeShardDeliver(sh *routeShard, outs []send) {
+	logging := n.cfg.EventLog != nil
+	round := n.round + 1 // deliveries land at the start of the next round
+	var deliveries, bytes int64
+	for i := sh.lo; i < sh.hi; i++ {
+		st := n.live[i]
+		lo, hi := n.inboxOff[i], n.inboxOff[i+1]
+		if lo == hi {
+			st.inbox = nil
+			continue
+		}
+		seg := n.arena[lo:hi:hi]
+		bi, bn := 0, len(n.bcastIdx)
+		ui, un := int(n.uniStart[i]), int(n.uniStart[i+1])
+		for w := range seg {
+			// Merge the broadcast list with this receiver's unicast
+			// bucket by send index: the receiver-relevant subsequence
+			// of the (from, encoding, to)-sorted send stream, i.e. the
+			// documented (sender, encoding) inbox order.
+			var k int32
+			if ui >= un || (bi < bn && n.bcastIdx[bi] < n.uniIdx[ui]) {
+				k = n.bcastIdx[bi]
+				bi++
+			} else {
+				k = n.uniIdx[ui]
+				ui++
+			}
+			s := &outs[k]
+			seg[w] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
+			bytes += int64(len(s.encoded))
+			if st.contacts != nil {
+				st.contacts[s.from] = struct{}{}
+			}
+			if logging {
+				sh.events = append(sh.events, trace.Event{
+					Round:     round,
+					From:      uint64(s.from),
+					To:        uint64(st.id),
+					Kind:      s.payload.Kind().String(),
+					Size:      len(s.encoded),
+					Broadcast: s.to == ids.None,
+				})
+			}
+		}
+		deliveries += int64(len(seg))
+		st.inbox = seg
+	}
+	sh.deliveries, sh.bytes = deliveries, bytes
+}
+
+// grown returns s resized to n elements, reusing its backing array when
+// possible. Contents are unspecified; callers overwrite or clear.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -9,30 +9,48 @@ import (
 // workerPool is the persistent goroutine pool behind the concurrent
 // runner. It replaces the old goroutine-per-node-per-round scheme: the
 // workers are spawned once (on the first concurrent round) and then
-// parked on a channel between rounds, so a round costs W channel sends
+// parked on a channel between rounds, so a phase costs W channel sends
 // and one barrier wait instead of n goroutine spawns.
 //
-// Determinism: workers claim node indices from a shared atomic counter
-// and write each node's sends into a per-node slot of a shared results
-// slice. Which worker steps which node varies run to run, but the merge
-// (stepConcurrent) reads the slots in node order, so the routed sends —
-// and therefore the whole execution — are byte-identical to the
-// sequential runner's.
+// The pool runs both halves of a round — the step phase and the
+// routing/delivery phase — as separate barriered dispatches:
+//
+//   - Step: workers claim node indices from the shared atomic counter
+//     and write each node's sends into a per-node slot of a shared
+//     results slice. Which worker steps which node varies run to run,
+//     but the merge (stepConcurrent) reads the slots in node order, so
+//     the routed send stream is byte-identical to the sequential
+//     runner's.
+//   - Route: workers claim shard indices; each shard is a contiguous
+//     receiver range whose inboxes, contact sets, tallies and event
+//     buffer are written only by the claiming worker (route.go). The
+//     post-barrier merge reads shards in index — i.e. receiver — order,
+//     so traces and accounting are independent of worker scheduling.
 type workerPool struct {
-	tasks   chan poolRound
+	tasks   chan poolTask
 	workers int
-	next    atomic.Int64   // node-index dispenser, reset each round
-	wg      sync.WaitGroup // round barrier
+	next    atomic.Int64   // node/shard index dispenser, reset each phase
+	wg      sync.WaitGroup // phase barrier
 }
 
-// poolRound is one round's work order. It is passed by value through the
+// poolPhase selects which half of a round a dispatched task runs.
+type poolPhase uint8
+
+const (
+	phaseStep poolPhase = iota
+	phaseRoute
+)
+
+// poolTask is one phase's work order. It is passed by value through the
 // channel and dropped by each worker before it parks again, so parked
 // workers pin the pool but not the Network — which lets the Network's
 // finalizer release an abandoned pool (see startPool).
-type poolRound struct {
-	net  *Network
-	live []*procState
-	res  []stepResult
+type poolTask struct {
+	net   *Network
+	phase poolPhase
+	live  []*procState // step phase
+	res   []stepResult // step phase
+	outs  []send       // route phase
 }
 
 // startPool spawns the worker pool and arranges for its goroutines to be
@@ -66,7 +84,7 @@ func (n *Network) Close() {
 
 func newWorkerPool(workers int) *workerPool {
 	p := &workerPool{
-		tasks:   make(chan poolRound, workers),
+		tasks:   make(chan poolTask, workers),
 		workers: workers,
 	}
 	for w := 0; w < workers; w++ {
@@ -76,33 +94,58 @@ func newWorkerPool(workers int) *workerPool {
 }
 
 func (p *workerPool) work() {
-	for r := range p.tasks {
-		for {
-			i := int(p.next.Add(1)) - 1
-			if i >= len(r.live) {
-				break
+	for t := range p.tasks {
+		switch t.phase {
+		case phaseStep:
+			for {
+				i := int(p.next.Add(1)) - 1
+				if i >= len(t.live) {
+					break
+				}
+				sends, err := t.net.stepOne(t.live[i])
+				t.res[i] = stepResult{sends: sends, err: err}
 			}
-			sends, err := r.net.stepOne(r.live[i])
-			r.res[i] = stepResult{sends: sends, err: err}
+		case phaseRoute:
+			shards := t.net.shards
+			for {
+				s := int(p.next.Add(1)) - 1
+				if s >= len(shards) {
+					break
+				}
+				t.net.routeShardDeliver(&shards[s], t.outs)
+			}
 		}
 		p.wg.Done()
 		// Drop the Network reference before parking so a parked worker
 		// keeps only the pool alive, not the last round's Network.
-		r = poolRound{}
-		_ = r
+		t = poolTask{}
+		_ = t
 	}
 }
 
-// runRound steps every process in live on the pool and returns once all
-// results are written (the per-round barrier).
-func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
+// dispatch runs one barriered phase: every worker receives the task,
+// drains the shared index dispenser, and dispatch returns once all
+// workers are done.
+func (p *workerPool) dispatch(t poolTask) {
 	p.next.Store(0)
 	p.wg.Add(p.workers)
-	r := poolRound{net: n, live: live, res: res}
 	for i := 0; i < p.workers; i++ {
-		p.tasks <- r
+		p.tasks <- t
 	}
 	p.wg.Wait()
+}
+
+// runRound steps every process in live on the pool and returns once all
+// results are written (the step barrier).
+func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
+	p.dispatch(poolTask{net: n, phase: phaseStep, live: live, res: res})
+}
+
+// runRoute delivers every shard in n.shards on the pool and returns
+// once all inboxes, tallies and event buffers are written (the route
+// barrier).
+func (p *workerPool) runRoute(n *Network, outs []send) {
+	p.dispatch(poolTask{net: n, phase: phaseRoute, outs: outs})
 }
 
 // stop terminates the workers. Idempotence is the caller's concern

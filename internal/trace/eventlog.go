@@ -57,6 +57,30 @@ func (l *EventLog) Record(e Event) {
 	l.events = append(l.events, e)
 }
 
+// RecordBatch appends a batch of events under one lock acquisition —
+// the flush path for the round engine's per-shard event buffers (one
+// call per shard per round instead of one lock per delivery). The
+// capacity bound is applied exactly as for Record: events beyond the
+// capacity are counted as dropped, not stored. The batch is copied;
+// the caller may reuse its slice.
+func (l *EventLog) RecordBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	room := l.cap - len(l.events)
+	if room <= 0 {
+		l.dropped += len(events)
+		return
+	}
+	if room < len(events) {
+		l.dropped += len(events) - room
+		events = events[:room]
+	}
+	l.events = append(l.events, events...)
+}
+
 // Events returns a copy of the recorded events in delivery order.
 func (l *EventLog) Events() []Event {
 	l.mu.Lock()

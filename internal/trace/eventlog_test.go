@@ -50,6 +50,48 @@ func TestEventLogDefaultCapacity(t *testing.T) {
 	}
 }
 
+func TestEventLogRecordBatch(t *testing.T) {
+	t.Parallel()
+	l := NewEventLog(10)
+	batch := []Event{
+		{Round: 2, From: 1, To: 2, Kind: "a"},
+		{Round: 2, From: 1, To: 3, Kind: "b"},
+	}
+	l.RecordBatch(batch)
+	l.RecordBatch(nil) // no-op
+	events := l.Events()
+	if len(events) != 2 || events[0].Kind != "a" || events[1].Kind != "b" {
+		t.Fatalf("batch not recorded in order: %+v", events)
+	}
+	// The batch is copied: mutating the caller's slice must not reach
+	// the log.
+	batch[0].Kind = "mutated"
+	if l.Events()[0].Kind == "mutated" {
+		t.Fatal("RecordBatch aliased the caller's slice")
+	}
+}
+
+func TestEventLogRecordBatchCapacity(t *testing.T) {
+	t.Parallel()
+	l := NewEventLog(3)
+	l.Record(Event{Round: 1, Kind: "pre"})
+	l.RecordBatch([]Event{{Kind: "a"}, {Kind: "b"}, {Kind: "c"}, {Kind: "d"}})
+	if got := len(l.Events()); got != 3 {
+		t.Fatalf("stored %d events, want 3 (capacity)", got)
+	}
+	if l.Events()[2].Kind != "b" {
+		t.Fatalf("batch truncated at the wrong point: %+v", l.Events())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", l.Dropped())
+	}
+	// A full log counts the whole batch as dropped.
+	l.RecordBatch([]Event{{Kind: "e"}, {Kind: "f"}})
+	if l.Dropped() != 4 {
+		t.Fatalf("dropped %d, want 4", l.Dropped())
+	}
+}
+
 func TestEventLogRenderGroupsBroadcasts(t *testing.T) {
 	t.Parallel()
 	l := NewEventLog(100)

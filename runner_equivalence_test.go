@@ -75,7 +75,11 @@ func runOnce(t *testing.T, protocol string, adv uba.Adversary, concurrent bool) 
 // both runners with a shared seed and asserts byte-identical transcripts
 // (every delivery: round, from, to, kind, size, broadcast flag, in
 // order), identical Report totals and per-round breakdowns, and
-// identical protocol results.
+// identical protocol results. The concurrent runner is run twice so a
+// worker-scheduling dependence — which could agree with the sequential
+// runner on one lucky schedule — fails the matrix directly. The
+// engine-level matrix with forced multi-worker shard counts lives in
+// internal/simnet/determinism_test.go.
 func TestRunnerEquivalenceAcrossAdversaries(t *testing.T) {
 	t.Parallel()
 	adversaries := []uba.Adversary{
@@ -88,24 +92,26 @@ func TestRunnerEquivalenceAcrossAdversaries(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%s", protocol, adv), func(t *testing.T) {
 				t.Parallel()
 				seq := runOnce(t, protocol, adv, false)
-				con := runOnce(t, protocol, adv, true)
 				if len(seq.events) == 0 {
 					t.Fatal("sequential run recorded no deliveries; transcript comparison is vacuous")
 				}
-				if !slices.Equal(seq.events, con.events) {
-					i := 0
-					for i < len(seq.events) && i < len(con.events) && seq.events[i] == con.events[i] {
-						i++
+				for _, label := range []string{"concurrent", "concurrent-repeat"} {
+					con := runOnce(t, protocol, adv, true)
+					if !slices.Equal(seq.events, con.events) {
+						i := 0
+						for i < len(seq.events) && i < len(con.events) && seq.events[i] == con.events[i] {
+							i++
+						}
+						t.Fatalf("%s: transcripts diverge at event %d of %d/%d:\n  sequential: %+v\n  concurrent: %+v",
+							label, i, len(seq.events), len(con.events), at(seq.events, i), at(con.events, i))
 					}
-					t.Fatalf("transcripts diverge at event %d of %d/%d:\n  sequential: %+v\n  concurrent: %+v",
-						i, len(seq.events), len(con.events), at(seq.events, i), at(con.events, i))
-				}
-				if !reflect.DeepEqual(seq.report, con.report) {
-					t.Fatalf("reports differ:\n  sequential: %v\n  concurrent: %v", seq.report, con.report)
-				}
-				if !reflect.DeepEqual(seq.result, con.result) {
-					t.Fatalf("protocol results differ:\n  sequential: %+v\n  concurrent: %+v",
-						seq.result, con.result)
+					if !reflect.DeepEqual(seq.report, con.report) {
+						t.Fatalf("%s: reports differ:\n  sequential: %v\n  concurrent: %v", label, seq.report, con.report)
+					}
+					if !reflect.DeepEqual(seq.result, con.result) {
+						t.Fatalf("%s: protocol results differ:\n  sequential: %+v\n  concurrent: %+v",
+							label, seq.result, con.result)
+					}
 				}
 			})
 		}

@@ -7,6 +7,16 @@ import (
 	"testing/quick"
 )
 
+// propMaxCount sizes the quick.Check search: full depth normally, a
+// smoke-sized sample under -short (the CI race job and `make race` run
+// with -short so the randomized properties stay inside the job budget).
+func propMaxCount() int {
+	if testing.Short() {
+		return 10
+	}
+	return 60
+}
+
 // Randomized agreement property: for arbitrary (small) resilient
 // configurations, adversary choices and inputs, consensus always reaches
 // agreement on some correct path and never returns ErrDisagreement.
@@ -42,7 +52,7 @@ func TestConsensusAgreementProperty(t *testing.T) {
 		// so the decision must be binary.
 		return res.Decision == 0 || res.Decision == 1
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: propMaxCount()}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,7 +81,7 @@ func TestApproxValidityProperty(t *testing.T) {
 		}
 		return res.RangeRatio() <= 0.5+1e-9
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: propMaxCount()}); err != nil {
 		t.Fatal(err)
 	}
 }
