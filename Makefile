@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json perf-smoke experiments experiments-md fuzz examples vet lint clean
+.PHONY: all build test test-short race cover bench bench-json perf-smoke chaos-smoke experiments experiments-md fuzz examples vet lint clean
 
 all: vet lint test
 
@@ -57,6 +57,14 @@ bench-json:
 # Never fails on a slow run (CI timing is noisy); read the output.
 perf-smoke:
 	$(GO) run ./cmd/ubabench -perfsmoke
+
+# Seeded chaos campaign: random Byzantine coalitions against every
+# protocol family with online safety oracles attached (agreement,
+# validity, termination, no-forged-sender). A violation is shrunk to a
+# minimal repro, written to chaos-repro.json (replay with
+# `go run ./cmd/ubasim -repro chaos-repro.json`), and fails the target.
+chaos-smoke:
+	$(GO) run ./cmd/ubasweep -chaos -seeds 25 -repro-out chaos-repro.json
 
 # Regenerate every experiment table (E1-E21) as text.
 experiments:

@@ -66,7 +66,10 @@ func roundSpec(runner string, n int) benchSpec {
 		runner: runner,
 		n:      n,
 		bench: func(b *testing.B) {
-			net, _ := simnet.NewBroadcastBench(n, b.N+2, concurrent)
+			net, _, err := simnet.NewBroadcastBench(n, b.N+2, concurrent)
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer net.Close()
 			// One warm-up round allocates the delivery arena (n² slots
 			// — tens of MB at the top sizes) outside the timed region,
@@ -95,7 +98,10 @@ func phaseSpec(phase, runner string, n int) benchSpec {
 		phase:  phase,
 		n:      n,
 		bench: func(b *testing.B) {
-			rp := simnet.NewRoundPhases(n, concurrent)
+			rp, err := simnet.NewRoundPhases(n, concurrent)
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer rp.Close()
 			op := func() error {
 				switch phase {

@@ -11,6 +11,11 @@
 //	ubasim -protocol renaming -g 9 -f 2 -adversary ghost
 //	ubasim -protocol vector -g 7 -f 2
 //	ubasim -protocol impossibility -timing async
+//	ubasim -repro shrunk.json
+//
+// With -repro, ubasim replays a minimized chaos repro file (produced by
+// `ubasweep -chaos` or internal/chaos.Shrink) and reports whether the
+// recorded oracle violation reproduces.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"sort"
 
 	"uba"
+	"uba/internal/chaos"
 	"uba/internal/trace"
 )
 
@@ -41,8 +47,12 @@ func run(args []string, out io.Writer) error {
 	timing := fs.String("timing", "async", "impossibility timing: sync|semisync|async")
 	concurrent := fs.Bool("concurrent", false, "pooled concurrent runner")
 	traceRounds := fs.Int("trace", 0, "print a message transcript of the first N rounds")
+	reproPath := fs.String("repro", "", "replay a chaos repro JSON file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *reproPath != "" {
+		return replayRepro(*reproPath, out)
 	}
 
 	adv, err := uba.ParseAdversary(*advName)
@@ -163,5 +173,50 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
+	return nil
+}
+
+// replayRepro loads a minimized chaos repro and re-runs its scenario.
+// Exit status is non-zero when the recorded oracle does not fire again
+// (which, scenarios being deterministic, indicates the repro file does
+// not match the library version).
+func replayRepro(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	repro, err := chaos.DecodeRepro(data)
+	if err != nil {
+		return err
+	}
+	s := repro.Scenario
+	fmt.Fprintf(out, "repro: arena=%v g=%d f=%d seed=%d maxRounds=%d",
+		s.Arena, s.Correct, len(s.Slots), s.Seed, s.MaxRounds)
+	if s.Twin != "" {
+		fmt.Fprintf(out, " twin=%s", s.Twin)
+	}
+	fmt.Fprintln(out)
+	for i, slot := range s.Slots {
+		fmt.Fprintf(out, "  slot %d: %s", i, slot.Strategy)
+		if slot.Seed != 0 {
+			fmt.Fprintf(out, " seed=%d", slot.Seed)
+		}
+		if slot.Crash != 0 {
+			fmt.Fprintf(out, " crashAfter=%d", slot.Crash)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "expected: %s at round %d: %s\n",
+		repro.Violation.Oracle, repro.Violation.Round, repro.Violation.Detail)
+	outcome, err := repro.Replay()
+	if err != nil {
+		return err
+	}
+	v, _ := outcome.Fired(repro.Violation.Oracle)
+	fmt.Fprintf(out, "replayed: %s at round %d: %s\n", v.Oracle, v.Round, v.Detail)
+	if v != repro.Violation {
+		return fmt.Errorf("replayed violation differs from recorded one")
+	}
+	fmt.Fprintln(out, "verdict reproduced")
 	return nil
 }

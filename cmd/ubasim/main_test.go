@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"uba/internal/chaos"
 )
 
 func TestRunEachProtocol(t *testing.T) {
@@ -103,5 +107,91 @@ func TestRunWithTranscript(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("transcript missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunReproReplaysShrunkViolation(t *testing.T) {
+	t.Parallel()
+	// Shrink the planted earlydecide disagreement to a minimal repro and
+	// make sure the -repro flag replays it to the "reproduced" verdict.
+	s := chaos.Scenario{
+		Arena:     chaos.ArenaConsensus,
+		Correct:   6,
+		Seed:      42,
+		MaxRounds: 30,
+		Twin:      chaos.TwinEarlyDecide,
+		Slots:     []chaos.SlotSpec{{Strategy: chaos.StrategySplitVoter, Seed: 11}},
+	}
+	repro, ok := chaos.Shrink(s, "earlydecide-agreement", 200)
+	if !ok {
+		t.Fatal("shrink could not confirm the planted violation")
+	}
+	data, err := chaos.EncodeRepro(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "shrunk.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-repro", path}, &buf); err != nil {
+		t.Fatalf("run(-repro): %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"repro: arena=consensus", "twin=earlydecide", "slot 0: splitvoter",
+		"expected: earlydecide-agreement", "verdict reproduced",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReproRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-repro", filepath.Join(t.TempDir(), "missing.json")}, &buf); err == nil {
+		t.Fatal("missing repro file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-repro", garbage}, &buf); err == nil {
+		t.Fatal("malformed repro file accepted")
+	}
+
+	// A repro whose recorded violation does not match the library's
+	// deterministic outcome must fail the replay verdict.
+	s := chaos.Scenario{
+		Arena:     chaos.ArenaConsensus,
+		Correct:   2,
+		Seed:      42,
+		MaxRounds: 5,
+		Twin:      chaos.TwinEarlyDecide,
+		Slots:     []chaos.SlotSpec{{Strategy: chaos.StrategySplitVoter, Seed: 11}},
+	}
+	out, err := chaos.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := out.Fired("earlydecide-agreement")
+	if !ok {
+		t.Fatal("planted scenario did not fire")
+	}
+	v.Detail = "tampered"
+	data, err := chaos.EncodeRepro(chaos.Repro{Scenario: s, Violation: v, ShrunkFrom: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := filepath.Join(t.TempDir(), "tampered.json")
+	if err := os.WriteFile(tampered, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-repro", tampered}, &buf); err == nil {
+		t.Fatal("tampered repro reported as reproduced")
 	}
 }

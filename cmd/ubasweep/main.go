@@ -13,6 +13,16 @@
 //
 // Columns: protocol, n, f, adversary, seed, rounds, deliveries, bytes,
 // plus a protocol-specific result column.
+//
+// Chaos campaign mode runs seeded random Byzantine coalitions against
+// every protocol family with online safety oracles attached, shrinking
+// any violation to a minimal repro (replayable via `ubasim -repro`):
+//
+//	ubasweep -chaos -seeds 8
+//	ubasweep -chaos -arenas consensus,broadcast -seeds 20 -repro-out shrunk.json
+//
+// The command exits non-zero if any oracle fired — a violation here is a
+// real bug in a protocol, an oracle, or the engine.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"strings"
 
 	"uba"
+	"uba/internal/chaos"
 )
 
 func main() {
@@ -40,8 +51,19 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("n", "4,7,13", "comma-separated system sizes (f = ⌊(n-1)/3⌋)")
 	advNames := fs.String("adversary", "silent", "comma-separated adversaries")
 	seeds := fs.Int("seeds", 3, "seeds per cell")
+	chaosMode := fs.Bool("chaos", false, "run a chaos campaign with safety oracles instead of a CSV sweep")
+	arenaNames := fs.String("arenas", "broadcast,rotor,consensus,approx,renaming,ordering",
+		"chaos mode: comma-separated arenas")
+	chaosN := fs.Int("chaos-n", 9, "chaos mode: system size (f = ⌊(n-1)/3⌋)")
+	reproOut := fs.String("repro-out", "", "chaos mode: write the first shrunk repro JSON here")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive")
+	}
+	if *chaosMode {
+		return runChaos(*arenaNames, *chaosN, *seeds, *reproOut, out)
 	}
 
 	ns, err := parseInts(*sizes)
@@ -55,9 +77,6 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		advs = append(advs, adv)
-	}
-	if *seeds <= 0 {
-		return fmt.Errorf("-seeds must be positive")
 	}
 
 	w := csv.NewWriter(out)
@@ -178,6 +197,58 @@ func cell(rounds int, deliveries, bytes int64, result string) []string {
 		strconv.FormatInt(bytes, 10),
 		result,
 	}
+}
+
+// chaosArenas maps -arenas names to chaos arenas.
+var chaosArenas = map[string]chaos.Arena{
+	"broadcast": chaos.ArenaBroadcast,
+	"rotor":     chaos.ArenaRotor,
+	"consensus": chaos.ArenaConsensus,
+	"approx":    chaos.ArenaApprox,
+	"renaming":  chaos.ArenaRenaming,
+	"ordering":  chaos.ArenaOrdering,
+}
+
+// runChaos executes the chaos campaign mode: seeded coalitions per arena
+// with oracles attached, shrinking any violation to a minimal repro.
+func runChaos(arenaNames string, n, seeds int, reproOut string, out io.Writer) error {
+	cfg := chaos.DefaultCampaign()
+	cfg.Seeds = seeds
+	if n < 2 {
+		return fmt.Errorf("-chaos-n = %d too small", n)
+	}
+	cfg.Byzantine = (n - 1) / 3
+	cfg.Correct = n - cfg.Byzantine
+	cfg.Arenas = cfg.Arenas[:0]
+	for _, name := range strings.Split(arenaNames, ",") {
+		arena, ok := chaosArenas[strings.TrimSpace(name)]
+		if !ok {
+			return fmt.Errorf("unknown arena %q", name)
+		}
+		cfg.Arenas = append(cfg.Arenas, arena)
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) }
+	report, err := chaos.RunCampaign(cfg, logf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign: %d runs, %d violations, %d errors\n",
+		report.Runs, len(report.Repros), len(report.Errors))
+	if len(report.Repros) > 0 && reproOut != "" {
+		data, err := chaos.EncodeRepro(report.Repros[0])
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reproOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote shrunk repro to %s (replay: ubasim -repro %s)\n", reproOut, reproOut)
+	}
+	if !report.Clean() {
+		return fmt.Errorf("chaos campaign found %d violations and %d errors",
+			len(report.Repros), len(report.Errors))
+	}
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -87,3 +87,35 @@ func TestSweepRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepChaosModeClean(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-chaos", "-arenas", "consensus,broadcast", "-chaos-n", "7", "-seeds", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("chaos campaign: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "campaign: 4 runs, 0 violations, 0 errors") {
+		t.Fatalf("unexpected summary:\n%s", out)
+	}
+	if strings.Count(out, "clean after") != 4 {
+		t.Fatalf("expected 4 per-scenario progress lines:\n%s", out)
+	}
+}
+
+func TestSweepChaosRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-chaos", "-arenas", "bogus"},
+		{"-chaos", "-chaos-n", "1"},
+		{"-chaos", "-seeds", "0"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

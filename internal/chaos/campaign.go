@@ -1,0 +1,110 @@
+package chaos
+
+import "fmt"
+
+// CampaignConfig describes a seeded chaos campaign: for every arena and
+// every seed, compose a coalition, run the scenario with the arena's
+// oracle suite attached, and shrink any violation to a minimal repro.
+type CampaignConfig struct {
+	// Arenas are the protocol families to attack.
+	Arenas []Arena
+	// Seeds runs scenarios for seeds 1..Seeds per arena.
+	Seeds int
+	// Correct is the number of correct nodes per scenario.
+	Correct int
+	// Byzantine is the number of Byzantine slots per scenario.
+	Byzantine int
+	// MaxRounds bounds each scenario run (and its termination oracles).
+	MaxRounds int
+	// ShrinkBudget caps candidate runs per shrink.
+	ShrinkBudget int
+	// Twin optionally swaps in a planted protocol (TwinEarlyDecide);
+	// only meaningful when Arenas is {ArenaConsensus}.
+	Twin string
+}
+
+// DefaultCampaign is the standard smoke configuration: every arena, the
+// canonical 7-correct/2-Byzantine population, and a round budget that
+// accommodates the slowest family (consensus needs ~5 rounds per phase).
+func DefaultCampaign() CampaignConfig {
+	return CampaignConfig{
+		Arenas: []Arena{
+			ArenaBroadcast, ArenaRotor, ArenaConsensus,
+			ArenaApprox, ArenaRenaming, ArenaOrdering,
+		},
+		Seeds:        8,
+		Correct:      7,
+		Byzantine:    2,
+		MaxRounds:    400,
+		ShrinkBudget: 200,
+	}
+}
+
+// CampaignReport summarizes a campaign.
+type CampaignReport struct {
+	// Runs is the number of scenarios executed.
+	Runs int `json:"runs"`
+	// Repros holds one minimized repro per violating scenario.
+	Repros []Repro `json:"repros,omitempty"`
+	// Errors records scenarios that failed to execute (engine errors),
+	// formatted as "arena/seed: message".
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Clean reports whether every scenario ran and no oracle fired.
+func (r *CampaignReport) Clean() bool {
+	return len(r.Repros) == 0 && len(r.Errors) == 0
+}
+
+// RunCampaign executes the configured campaign. logf (optional) receives
+// one progress line per scenario. The report is deterministic in cfg.
+func RunCampaign(cfg CampaignConfig, logf func(format string, args ...any)) (*CampaignReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Seeds < 1 || cfg.Correct < 1 || cfg.Byzantine < 0 || cfg.MaxRounds < 1 {
+		return nil, fmt.Errorf("chaos: bad campaign config %+v", cfg)
+	}
+	report := &CampaignReport{}
+	for _, arena := range cfg.Arenas {
+		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+			// The coalition plan gets its own seed stream so that adding
+			// arenas or seeds never perturbs other scenarios.
+			planSeed := seed*101 + int64(arena)
+			c := NewCoalition(arena, nil, planSeed)
+			s := Scenario{
+				Arena:     arena,
+				Correct:   cfg.Correct,
+				Seed:      seed,
+				MaxRounds: cfg.MaxRounds,
+				Twin:      cfg.Twin,
+				Slots:     c.Plan(cfg.Byzantine, true),
+			}
+			report.Runs++
+			out, err := Run(s)
+			if err != nil {
+				report.Errors = append(report.Errors,
+					fmt.Sprintf("%v/seed=%d: %v", arena, seed, err))
+				logf("chaos %v seed=%d: ERROR %v", arena, seed, err)
+				continue
+			}
+			if len(out.Violations) == 0 {
+				logf("chaos %v seed=%d: clean after %d rounds", arena, seed, out.Rounds)
+				continue
+			}
+			v := out.Violations[0]
+			logf("chaos %v seed=%d: VIOLATION %s round %d — shrinking", arena, seed, v.Oracle, v.Round)
+			repro, ok := Shrink(s, v.Oracle, cfg.ShrinkBudget)
+			if !ok {
+				// Shrinking could not re-confirm within budget; keep the
+				// unshrunk scenario so the failure is still replayable.
+				repro = Repro{Scenario: s, Violation: v, ShrunkFrom: s}
+			}
+			logf("chaos %v seed=%d: shrunk to g=%d f=%d rounds=%d (%d runs)",
+				arena, seed, repro.Scenario.Correct, len(repro.Scenario.Slots),
+				repro.Scenario.MaxRounds, repro.ShrinkRuns)
+			report.Repros = append(report.Repros, repro)
+		}
+	}
+	return report, nil
+}

@@ -47,7 +47,11 @@ func TestChaosConsensus(t *testing.T) {
 			twin := func(id ids.ID) simnet.Process {
 				return consensus.New(id, wire.V(0))
 			}
-			for _, p := range coalition.Build(byzIDs, twin) {
+			procs, err := coalition.Build(byzIDs, twin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range procs {
 				if err := net.AddByzantine(p); err != nil {
 					t.Fatal(err)
 				}
@@ -95,7 +99,11 @@ func TestChaosReliableBroadcast(t *testing.T) {
 				}
 			}
 			coalition := NewCoalition(ArenaBroadcast, dir, seed*103)
-			for _, p := range coalition.Build(byzIDs, nil) {
+			procs, err := coalition.Build(byzIDs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range procs {
 				if err := net.AddByzantine(p); err != nil {
 					t.Fatal(err)
 				}
@@ -156,7 +164,11 @@ func TestChaosRotor(t *testing.T) {
 			}
 			coalition := NewCoalition(ArenaRotor, dir, seed*107)
 			twin := func(id ids.ID) simnet.Process { return rotor.New(id, opinionOf(id)) }
-			for _, p := range coalition.Build(byzIDs, twin) {
+			procs, err := coalition.Build(byzIDs, twin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range procs {
 				if err := net.AddByzantine(p); err != nil {
 					t.Fatal(err)
 				}
@@ -226,7 +238,11 @@ func TestChaosRenaming(t *testing.T) {
 			}
 			coalition := NewCoalition(ArenaRenaming, dir, seed*109)
 			twin := func(id ids.ID) simnet.Process { return renaming.New(id) }
-			for _, p := range coalition.Build(byzIDs, twin) {
+			procs, err := coalition.Build(byzIDs, twin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range procs {
 				if err := net.AddByzantine(p); err != nil {
 					t.Fatal(err)
 				}

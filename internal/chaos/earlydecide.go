@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"uba/internal/ids"
+	"uba/internal/simnet"
+	"uba/internal/wire"
+)
+
+// earlyDecide is a deliberately UNSAFE consensus-like protocol used only
+// to validate the oracle + shrinking harness end to end (the Jepsen
+// discipline: the test of a checker is a system with a known bug). It
+// announces itself, broadcasts its input once, then adopts whatever
+// input message it last received — no quorum, no phase king — and
+// decides in a fixed round. A split-voting adversary therefore makes the
+// two halves of the network decide different values deterministically,
+// which the agreement oracle must catch and the shrinker must reduce to
+// a minimal coalition.
+//
+// It must never be reachable from user-facing protocol code; the only
+// constructor is the "earlydecide" twin of a chaos Scenario.
+type earlyDecide struct {
+	id      ids.ID
+	input   wire.Value
+	cand    wire.Value
+	decided bool
+}
+
+// earlyDecideRound is the fixed (and unjustified) decision round.
+const earlyDecideRound = 5
+
+var _ simnet.Process = (*earlyDecide)(nil)
+
+// newEarlyDecide returns a planted-bug consensus participant.
+func newEarlyDecide(id ids.ID, input wire.Value) *earlyDecide {
+	return &earlyDecide{id: id, input: input, cand: input}
+}
+
+// ID implements simnet.Process.
+func (e *earlyDecide) ID() ids.ID { return e.id }
+
+// Done implements simnet.Process.
+func (e *earlyDecide) Done() bool { return e.decided }
+
+// Output returns the decided value once Done.
+func (e *earlyDecide) Output() (wire.Value, bool) { return e.cand, e.decided }
+
+// Step implements simnet.Process.
+func (e *earlyDecide) Step(env *simnet.RoundEnv) {
+	switch env.Round {
+	case 1:
+		env.Broadcast(wire.Present{})
+		return
+	case 2:
+		env.Broadcast(wire.Input{X: e.input})
+		return
+	}
+	// The bug: adopt the last input delivered this round, trusting the
+	// sender completely.
+	for _, m := range env.Inbox {
+		if in, ok := m.Payload.(wire.Input); ok {
+			e.cand = in.X
+		}
+	}
+	if env.Round >= earlyDecideRound {
+		e.decided = true
+	}
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"uba/internal/oracle"
+)
+
+// Repro is a self-contained, replayable description of an oracle
+// violation: the minimal scenario the shrinker reached, the violation it
+// produces, and the original scenario it was shrunk from. Serialized as
+// JSON by campaigns and replayed by `ubasim -repro`.
+type Repro struct {
+	// Scenario is the minimized violating configuration.
+	Scenario Scenario `json:"scenario"`
+	// Violation is the oracle verdict the scenario reproduces.
+	Violation oracle.Violation `json:"violation"`
+	// ShrunkFrom is the originally observed violating scenario.
+	ShrunkFrom Scenario `json:"shrunk_from"`
+	// ShrinkRuns is how many candidate runs the shrinker spent.
+	ShrinkRuns int `json:"shrink_runs"`
+}
+
+// EncodeRepro serializes a repro as indented JSON (stable field order,
+// trailing newline) for artifact files.
+func EncodeRepro(r Repro) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeRepro parses a repro file.
+func DecodeRepro(data []byte) (Repro, error) {
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Repro{}, fmt.Errorf("chaos: bad repro file: %w", err)
+	}
+	return r, nil
+}
+
+// Replay re-runs the minimized scenario and reports whether the recorded
+// oracle fires again (it must: scenarios are deterministic).
+func (r Repro) Replay() (*Outcome, error) {
+	out, err := Run(r.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := out.Fired(r.Violation.Oracle); !ok {
+		return out, fmt.Errorf("chaos: replay did not reproduce oracle %q", r.Violation.Oracle)
+	}
+	return out, nil
+}
+
+// Shrink delta-debugs a violating scenario to a smaller one that still
+// fires the same oracle. It is a greedy fixpoint over four reduction
+// passes — drop Byzantine slots, simplify surviving slots to silence,
+// shrink the number of correct nodes, shrink the round budget to the
+// violation round — re-running the scenario after each candidate edit
+// (determinism makes a single re-run a proof). budget caps the total
+// number of candidate runs; the initial confirmation run also counts.
+//
+// The returned Repro always reproduces: if the initial run does not fire
+// the named oracle (or budget is exhausted before confirmation), Shrink
+// returns ok=false.
+func Shrink(s Scenario, oracleName string, budget int) (Repro, bool) {
+	runs := 0
+	try := func(cand Scenario) (oracle.Violation, bool) {
+		if runs >= budget {
+			return oracle.Violation{}, false
+		}
+		runs++
+		out, err := Run(cand)
+		if err != nil {
+			return oracle.Violation{}, false
+		}
+		return out.Fired(oracleName)
+	}
+
+	best, ok := try(s)
+	if !ok {
+		return Repro{}, false
+	}
+	cur := s
+	for changed := true; changed && runs < budget; {
+		changed = false
+		// Pass 1: drop slots one at a time.
+		for i := 0; i < len(cur.Slots); {
+			cand := cur
+			cand.Slots = append(append([]SlotSpec(nil), cur.Slots[:i]...), cur.Slots[i+1:]...)
+			if v, ok := try(cand); ok {
+				cur, best, changed = cand, v, true
+			} else {
+				i++
+			}
+		}
+		// Pass 2: simplify surviving slots to the weakest strategy.
+		for i := range cur.Slots {
+			if cur.Slots[i].Strategy == StrategySilent {
+				continue
+			}
+			cand := cur
+			cand.Slots = append([]SlotSpec(nil), cur.Slots...)
+			cand.Slots[i] = SlotSpec{Strategy: StrategySilent}
+			if v, ok := try(cand); ok {
+				cur, best, changed = cand, v, true
+			}
+		}
+		// Pass 3: shrink the correct population.
+		for cur.Correct > 1 {
+			cand := cur
+			cand.Correct--
+			v, ok := try(cand)
+			if !ok {
+				break
+			}
+			cur, best, changed = cand, v, true
+		}
+		// Pass 4: shrink the round budget to the violation round.
+		if best.Round < cur.MaxRounds {
+			cand := cur
+			cand.MaxRounds = best.Round
+			if v, ok := try(cand); ok {
+				cur, best, changed = cand, v, true
+			}
+		}
+	}
+	return Repro{Scenario: cur, Violation: best, ShrunkFrom: s, ShrinkRuns: runs}, true
+}

@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// plantedScenario is a configuration known to violate agreement: the
+// earlydecide twin (decides on the last input heard, no quorum) against
+// a coalition containing a split-voter. The split-voter's round-3 input
+// messages arrive in round 4, one value per network half, and the twin
+// decides in round 5 — a deterministic disagreement.
+func plantedScenario() Scenario {
+	return Scenario{
+		Arena:     ArenaConsensus,
+		Correct:   6,
+		Seed:      42,
+		MaxRounds: 30,
+		Twin:      TwinEarlyDecide,
+		Slots: []SlotSpec{
+			{Strategy: StrategyNoise, Seed: 7},
+			{Strategy: StrategySplitVoter, Seed: 11},
+			{Strategy: StrategySilent},
+		},
+	}
+}
+
+func TestPlantedViolationIsDetected(t *testing.T) {
+	t.Parallel()
+	out, err := Run(plantedScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := out.Fired("earlydecide-agreement")
+	if !ok {
+		t.Fatalf("planted bug not detected; violations = %+v", out.Violations)
+	}
+	if v.Round != 5 {
+		t.Fatalf("violation at round %d, want 5 (the planted decision round): %+v", v.Round, v)
+	}
+}
+
+func TestShrinkReducesPlantedViolation(t *testing.T) {
+	t.Parallel()
+	s := plantedScenario()
+	repro, ok := Shrink(s, "earlydecide-agreement", 300)
+	if !ok {
+		t.Fatal("shrink could not confirm the violation")
+	}
+	min := repro.Scenario
+
+	// The minimal coalition is the split-voter alone: noise and silent
+	// slots are irrelevant to the disagreement.
+	if len(min.Slots) != 1 || min.Slots[0].Strategy != StrategySplitVoter {
+		t.Fatalf("shrunk slots = %+v, want exactly the split-voter", min.Slots)
+	}
+	// Two correct nodes suffice (one per split half); with one the halves
+	// collapse and the violation disappears, so the shrinker must stop
+	// at 2.
+	if min.Correct != 2 {
+		t.Fatalf("shrunk correct = %d, want 2", min.Correct)
+	}
+	// The round budget collapses to the violation round.
+	if min.MaxRounds != repro.Violation.Round {
+		t.Fatalf("shrunk MaxRounds = %d, violation round = %d", min.MaxRounds, repro.Violation.Round)
+	}
+	if repro.ShrunkFrom.Correct != s.Correct || len(repro.ShrunkFrom.Slots) != len(s.Slots) {
+		t.Fatalf("ShrunkFrom does not preserve the original scenario: %+v", repro.ShrunkFrom)
+	}
+
+	// The minimized repro replays to the same verdict, twice.
+	for i := 0; i < 2; i++ {
+		out, err := repro.Replay()
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		v, _ := out.Fired("earlydecide-agreement")
+		if v != repro.Violation {
+			t.Fatalf("replay %d verdict %+v differs from recorded %+v", i, v, repro.Violation)
+		}
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	t.Parallel()
+	// Budget 1 covers only the confirmation run: no shrinking happens.
+	repro, ok := Shrink(plantedScenario(), "earlydecide-agreement", 1)
+	if !ok {
+		t.Fatal("confirmation run should fit the budget")
+	}
+	if repro.ShrinkRuns != 1 {
+		t.Fatalf("runs = %d, want 1", repro.ShrinkRuns)
+	}
+	if !reflect.DeepEqual(repro.Scenario, plantedScenario()) {
+		t.Fatalf("scenario changed without budget: %+v", repro.Scenario)
+	}
+	// A non-firing oracle name cannot be confirmed.
+	if _, ok := Shrink(plantedScenario(), "no-such-oracle", 10); ok {
+		t.Fatal("shrink confirmed an oracle that never fires")
+	}
+}
+
+func TestReproJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	repro, ok := Shrink(plantedScenario(), "earlydecide-agreement", 300)
+	if !ok {
+		t.Fatal("shrink failed")
+	}
+	data, err := EncodeRepro(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRepro(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, repro) {
+		t.Fatalf("round trip changed the repro:\n  in:  %+v\n  out: %+v", repro, back)
+	}
+	if _, err := back.Replay(); err != nil {
+		t.Fatalf("decoded repro does not replay: %v", err)
+	}
+	if _, err := DecodeRepro([]byte("{broken")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+// TestCampaignSelfValidation runs the campaign harness against the
+// planted-bug twin: every seed must produce a violation that shrinks and
+// replays — the Jepsen-style check that the checker can actually catch
+// bugs.
+func TestCampaignSelfValidation(t *testing.T) {
+	t.Parallel()
+	cfg := CampaignConfig{
+		Arenas:       []Arena{ArenaConsensus},
+		Seeds:        3,
+		Correct:      6,
+		Byzantine:    2,
+		MaxRounds:    30,
+		ShrinkBudget: 200,
+		Twin:         TwinEarlyDecide,
+	}
+	report, err := RunCampaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Runs != 3 || len(report.Errors) != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Not every random coalition contains a split-voter, but across the
+	// seeds at least one must trip the planted bug — and every repro the
+	// campaign produced must replay.
+	if len(report.Repros) == 0 {
+		t.Fatal("campaign against the planted-bug twin found nothing")
+	}
+	for _, r := range report.Repros {
+		if _, err := r.Replay(); err != nil {
+			t.Fatalf("campaign repro does not replay: %v", err)
+		}
+	}
+}
+
+// TestCampaignCleanOnRealProtocols is the real-protocol smoke: a short
+// campaign against the actual implementations must stay silent (any
+// repro here is a genuine bug in either a protocol or an oracle).
+func TestCampaignCleanOnRealProtocols(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("campaign smoke skipped in -short")
+	}
+	cfg := DefaultCampaign()
+	cfg.Seeds = 2
+	report, err := RunCampaign(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		for _, r := range report.Repros {
+			t.Errorf("violation: %+v (scenario %+v)", r.Violation, r.Scenario)
+		}
+		for _, e := range report.Errors {
+			t.Errorf("error: %s", e)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package determinism_test
 
 import (
+	"regexp"
 	"testing"
 
 	"uba/internal/lint/determinism"
@@ -29,4 +30,36 @@ func setPackages(t *testing.T, v string) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { determinism.Analyzer.Flags.Set("packages", prev) })
+}
+
+// TestDefaultScopeCoversRobustnessPackages pins the default package gate
+// to the packages whose determinism the engine contract depends on —
+// in particular the oracle and chaos/shrink layers, whose outputs
+// (violations, shrunk repros) must be pure functions of the scenario.
+// Narrowing the default regexp so one of these escapes the gate is a
+// regression.
+func TestDefaultScopeCoversRobustnessPackages(t *testing.T) {
+	def := determinism.Analyzer.Flags.Lookup("packages").DefValue
+	scope, err := regexp.Compile(def)
+	if err != nil {
+		t.Fatalf("default packages gate %q does not compile: %v", def, err)
+	}
+	for _, pkg := range []string{
+		"uba",
+		"uba/internal/simnet",
+		"uba/internal/trace",
+		"uba/internal/adversary",
+		"uba/internal/oracle",
+		"uba/internal/chaos",
+	} {
+		if !scope.MatchString(pkg) {
+			t.Errorf("default gate %q does not cover %s", def, pkg)
+		}
+	}
+	// Commands stay outside the gate: they may read clocks and flags.
+	for _, pkg := range []string{"uba/cmd/ubasim", "uba/cmd/ubasweep"} {
+		if scope.MatchString(pkg) {
+			t.Errorf("default gate %q unexpectedly covers %s", def, pkg)
+		}
+	}
 }

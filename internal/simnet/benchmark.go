@@ -32,7 +32,9 @@ func (c *ChatterProcess) Step(env *RoundEnv) {
 // NewBroadcastBench builds a network of n chatter processes with traffic
 // accounting attached — the standard fixture for BenchmarkRoundEngine*
 // and the `ubabench -benchjson` harness. maxRounds bounds RunRound calls.
-func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Collector) {
+// Errors are returned, not panicked, so a campaign driver embedding the
+// fixture can fail one cell without killing the process.
+func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Collector, error) {
 	rng := rand.New(rand.NewSource(1))
 	nodeIDs := ids.Sparse(rng, n)
 	col := &trace.Collector{}
@@ -43,10 +45,12 @@ func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Coll
 	})
 	for _, id := range nodeIDs {
 		if err := net.Add(&ChatterProcess{Ident: id}); err != nil {
-			panic(err) // ids.Sparse never yields duplicates
+			// Unreachable with ids.Sparse (no duplicates), but a
+			// benchmark fixture must not be able to kill a campaign.
+			return nil, nil, err
 		}
 	}
-	return net, col
+	return net, col, nil
 }
 
 // RoundPhases drives the two halves of a round — step and
@@ -63,9 +67,13 @@ type RoundPhases struct {
 }
 
 // NewRoundPhases builds the phase-split fixture: n chatter processes
-// plus a frozen template of one round's sends for RouteOnly.
-func NewRoundPhases(n int, concurrent bool) *RoundPhases {
-	net, col := NewBroadcastBench(n, DefaultMaxRounds, concurrent)
+// plus a frozen template of one round's sends for RouteOnly. Like
+// NewBroadcastBench, failures are returned rather than panicked.
+func NewRoundPhases(n int, concurrent bool) (*RoundPhases, error) {
+	net, col, err := NewBroadcastBench(n, DefaultMaxRounds, concurrent)
+	if err != nil {
+		return nil, err
+	}
 	rp := &RoundPhases{net: net, col: col}
 	if concurrent {
 		// RouteOnly never runs a step phase, so start the pool (the
@@ -79,10 +87,13 @@ func NewRoundPhases(n int, concurrent bool) *RoundPhases {
 	net.round++
 	outs, _, err := rp.step()
 	if err != nil {
-		panic(err) // chatter processes cannot fail a step
+		// Unreachable for chatter processes (no contact rule, no
+		// quotas), but returned so an embedding driver stays alive.
+		net.Close()
+		return nil, err
 	}
 	rp.template = append([]send(nil), outs...)
-	return rp
+	return rp, nil
 }
 
 func (rp *RoundPhases) step() ([]send, int64, error) {

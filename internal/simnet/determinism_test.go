@@ -35,7 +35,13 @@ func runDeterminismWorkload(t *testing.T, workload string, seed int64, workers i
 	t.Helper()
 	log := trace.NewEventLog(500_000)
 	col := &trace.Collector{}
-	net := New(Config{MaxRounds: 40, EventLog: log, Collector: col})
+	cfg := Config{MaxRounds: 40, EventLog: log, Collector: col}
+	if workload == "panicky" {
+		// Tight quotas so the containment path (quota drops) is part of
+		// the transcript being compared, not just the crash events.
+		cfg.SendQuota = 4
+	}
+	net := New(cfg)
 	if workers > 0 {
 		net.forceWorkers(workers)
 		defer net.Close()
@@ -71,6 +77,22 @@ func runDeterminismWorkload(t *testing.T, workload string, seed int64, workers i
 			}
 		}
 		mustRounds(t, net, 6)
+	case "panicky": // crashes + quota drops interleaved with chatter
+		for i, id := range nodeIDs {
+			var p Process
+			switch i % 4 {
+			case 0: // panics at a node-dependent round
+				p = &panicAt{ChatterProcess: ChatterProcess{Ident: id}, Round: 2 + i/4}
+			case 1: // floods past the send quota every round
+				p = &flood{Ident: id, Peers: nodeIDs, Count: 1}
+			default:
+				p = &ChatterProcess{Ident: id}
+			}
+			if err := net.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustRounds(t, net, 8)
 	default:
 		t.Fatalf("unknown workload %q", workload)
 	}
@@ -114,7 +136,7 @@ func at(events []trace.Event, i int) any {
 // count.
 func TestEngineDeterminismAcrossWorkerCounts(t *testing.T) {
 	t.Parallel()
-	for _, workload := range []string{"gossip", "chatter"} {
+	for _, workload := range []string{"gossip", "chatter", "panicky"} {
 		for seed := int64(1); seed <= 3; seed++ {
 			workload, seed := workload, seed
 			t.Run(fmt.Sprintf("%s/seed=%d", workload, seed), func(t *testing.T) {

@@ -20,6 +20,27 @@
 //     collisions fall back to comparing the full encodings, so the
 //     filter is exact.
 //
+// # Fault containment
+//
+// The engine is a graceful-degradation layer: misbehavior of one
+// process must not take down the run.
+//
+//   - A panic inside Process.Step is recovered and the node converted
+//     into a deterministic crash fault: its crashing round produces no
+//     sends, it is never stepped again, and it receives no further
+//     messages. The transcript records a trace.KindNodeCrashed event;
+//     Network.Crashes carries the panic values for debugging. Recovery
+//     happens inside the per-node step task, before the node-order
+//     merge, so transcripts stay byte-identical across worker counts.
+//   - Config.SendQuota and Config.ByteQuota bound what one node can
+//     queue per round. The drop policy is deterministic (the longest
+//     queue prefix within budget survives) and recorded as a
+//     trace.KindQuotaDrop event — the valve that contains Byzantine
+//     amplification floods.
+//   - Config.Observer receives each round's trace events at the round
+//     boundary, the feed for the online safety oracles in
+//     internal/oracle.
+//
 // Two runners execute the same process state machines: a deterministic
 // sequential runner and a persistent worker-pool runner that shards
 // both halves of a round — the step phase over nodes and the

@@ -31,6 +31,11 @@ type Config struct {
 	// Concurrent selects the pooled worker runner instead of the
 	// sequential one. Both produce identical executions.
 	Concurrent bool
+	// Workers, when positive, fixes the concurrent runner's pool size;
+	// zero means GOMAXPROCS capped at the number of live processes. The
+	// execution is identical for every worker count — the knob exists
+	// for capacity tuning and for equivalence tests that sweep it.
+	Workers int
 	// EnforceContactRule makes the engine verify that correct processes
 	// unicast only to nodes that previously messaged them. Violations
 	// surface as an error from Run.
@@ -46,8 +51,39 @@ type Config struct {
 	// deliveries are grouped by receiver in ascending node order, each
 	// receiver's messages in its inbox order. Both runners produce the
 	// same transcript for any worker count (per-shard event buffers are
-	// merged in receiver order; see route.go).
+	// merged in receiver order; see route.go). Fault-containment events
+	// (trace.KindNodeCrashed, trace.KindQuotaDrop) are recorded in node
+	// order at the start of the round they occurred in, before that
+	// round's deliveries.
 	EventLog *trace.EventLog
+	// Observer, when non-nil, receives each completed round's trace
+	// events at the round boundary — the feed for online safety oracles
+	// (internal/oracle). It sees exactly what the EventLog would record
+	// for the round: containment events first (node order), then the
+	// deliveries routed for the next round (receiver order). The slice
+	// is reused across rounds; observers must not retain it.
+	Observer RoundObserver
+	// SendQuota, when positive, bounds the send operations one node may
+	// queue in one round. Excess sends are dropped deterministically
+	// (queue order: the first SendQuota survive) and a single
+	// trace.KindQuotaDrop event records the drop — the containment
+	// valve for Byzantine amplification floods. Applies to every node,
+	// correct or Byzantine; quotas are a network capacity, not a
+	// behavior assumption.
+	SendQuota int
+	// ByteQuota, when positive, bounds the encoded payload bytes one
+	// node may queue in one round, with the same deterministic policy:
+	// the longest prefix of the send queue within the budget survives.
+	ByteQuota int64
+}
+
+// RoundObserver receives each completed round's trace events — the
+// attachment point for online safety monitors. ObserveRound is called
+// once per successful round, from the goroutine driving the network,
+// for both the sequential and the concurrent runner. The events slice
+// is valid only for the duration of the call.
+type RoundObserver interface {
+	ObserveRound(round int, events []trace.Event)
 }
 
 // DefaultMaxRounds is the Run bound used when Config.MaxRounds is zero.
@@ -62,7 +98,11 @@ type procState struct {
 	// block-local route sort relies on.
 	id        ids.ID
 	byzantine bool
-	inbox     []Received
+	// crashed marks a node whose Step panicked: the engine contained
+	// the panic and converted the node into a crash fault. A crashed
+	// node is never stepped again and receives no further messages.
+	crashed bool
+	inbox   []Received
 	// contacts is the set of nodes that have delivered a message to
 	// this process, used for the contact rule. It is nil (and not
 	// maintained) unless Config.EnforceContactRule is set.
@@ -75,10 +115,32 @@ type procState struct {
 }
 
 // stepResult is one process's contribution to a round, produced by either
-// runner and merged in node order.
+// runner and merged in node order. Containment outcomes (a contained
+// panic, a quota drop) travel through it so the merge can emit their
+// trace events in node order regardless of worker scheduling.
 type stepResult struct {
 	sends []send
 	err   error
+	// crashed reports that Step panicked this round and the node was
+	// converted into a crash fault; crashReason is the recovered panic
+	// value (kept out of the transcript — see Network.Crashes).
+	crashed     bool
+	crashReason string
+	// dropped counts send operations discarded by the send/byte quota.
+	dropped int
+}
+
+// CrashRecord describes one contained Step panic.
+type CrashRecord struct {
+	// Node is the process that panicked.
+	Node ids.ID
+	// Round is the round whose Step call panicked.
+	Round int
+	// Reason is the recovered panic value, formatted. It is diagnostic
+	// only and deliberately not part of the trace transcript (a panic
+	// value could format pointers, which would break byte-identical
+	// transcripts across runs).
+	Reason string
 }
 
 // Network owns a set of processes and runs them in lock-step rounds.
@@ -103,6 +165,13 @@ type Network struct {
 	// broadcast indices, the per-receiver unicast buckets, the exact
 	// per-receiver arena offsets, the shared inbox arena, and the
 	// per-shard delivery state.
+	// Containment state: contained panics in occurrence order, plus
+	// round-scoped event scratch (containment events of the current
+	// round, and the combined event slice handed to cfg.Observer).
+	crashes     []CrashRecord
+	stepEvents  []trace.Event
+	roundEvents []trace.Event
+
 	doneMask  []bool
 	bcastIdx  []int32
 	uniRecv   []int32
@@ -206,6 +275,13 @@ func (n *Network) Process(id ids.ID) Process {
 // with its inbox, then route the produced messages for delivery at the
 // start of the next round. Traffic accounting is batched: one Collector
 // flush per successful round, nothing for an aborted one.
+//
+// A Step panic does not abort the round: it is recovered inside the
+// per-node step task and the node becomes a crash fault — silent and
+// unreachable from this round on — with a trace.KindNodeCrashed event
+// recorded (see Crashes for the panic values). Because recovery happens
+// before the node-order merge, transcripts stay byte-identical across
+// worker counts.
 func (n *Network) RunRound() error {
 	if n.err != nil {
 		return n.err
@@ -224,23 +300,51 @@ func (n *Network) RunRound() error {
 		n.err = err
 		return err
 	}
+	if n.cfg.EventLog != nil {
+		n.cfg.EventLog.RecordBatch(n.stepEvents)
+	}
 	deliveries, bytes := n.route(outs)
 	if n.cfg.Collector != nil {
 		n.cfg.Collector.AddRound(n.round, sends, deliveries, bytes)
 	}
+	if n.cfg.Observer != nil {
+		n.cfg.Observer.ObserveRound(n.round, n.roundEvents)
+	}
 	return nil
+}
+
+// noteResult folds one node's step outcome into the round: containment
+// events are appended in call — i.e. node — order, and contained
+// panics are recorded. Shared by both runners' node-order merges.
+func (n *Network) noteResult(st *procState, res *stepResult) {
+	if res.crashed {
+		n.crashes = append(n.crashes, CrashRecord{
+			Node: st.id, Round: n.round, Reason: res.crashReason,
+		})
+		n.stepEvents = append(n.stepEvents, trace.Event{
+			Round: n.round, From: uint64(st.id), Kind: trace.KindNodeCrashed,
+		})
+	}
+	if res.dropped > 0 {
+		n.stepEvents = append(n.stepEvents, trace.Event{
+			Round: n.round, From: uint64(st.id), Kind: trace.KindQuotaDrop,
+			Size: res.dropped,
+		})
+	}
 }
 
 func (n *Network) stepSequential() ([]send, int64, error) {
 	outs := n.outs[:0]
+	n.stepEvents = n.stepEvents[:0]
 	var sends int64
 	for _, st := range n.live {
-		s, err := n.stepOne(st)
-		if err != nil {
-			return nil, 0, err
+		res := n.stepOne(st)
+		if res.err != nil {
+			return nil, 0, res.err
 		}
-		sends += int64(len(s))
-		outs = append(outs, s...)
+		n.noteResult(st, &res)
+		sends += int64(len(res.sends))
+		outs = append(outs, res.sends...)
 	}
 	n.outs = outs
 	return outs, sends, nil
@@ -261,6 +365,7 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 	n.pool.runRound(n, n.live, results)
 
 	outs := n.outs[:0]
+	n.stepEvents = n.stepEvents[:0]
 	var sends int64
 	var firstErr error
 	for i := range results {
@@ -269,6 +374,7 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 			firstErr = res.err // first error in node order, like the sequential runner
 		}
 		if firstErr == nil {
+			n.noteResult(n.live[i], res)
 			sends += int64(len(res.sends))
 			outs = append(outs, res.sends...)
 		}
@@ -286,15 +392,17 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 
 // stepOne steps a single process with its pending inbox. It is safe to
 // call concurrently for distinct processes: it touches only st and the
-// immutable parts of n.
-func (n *Network) stepOne(st *procState) ([]send, error) {
+// immutable parts of n. A panic inside Process.Step is contained here —
+// inside the per-node task, before the node-order merge — so the
+// conversion into a crash fault is identical for every worker count.
+func (n *Network) stepOne(st *procState) stepResult {
 	inbox := st.inbox
 	// The inbox segment points into the round arena, which route()
 	// overwrites wholesale next round — this is what forbids
 	// Process.Step from retaining env.Inbox.
 	st.inbox = nil
-	if st.proc.Done() {
-		return nil, nil
+	if st.crashed || st.proc.Done() {
+		return stepResult{}
 	}
 	st.env = RoundEnv{
 		Round: n.round,
@@ -302,10 +410,25 @@ func (n *Network) stepOne(st *procState) ([]send, error) {
 		self:  st.id,
 		sends: st.sendBuf[:0],
 	}
-	st.proc.Step(&st.env)
+	reason, panicked := safeStep(st.proc, &st.env)
 	sends := st.env.sends
 	st.sendBuf = sends
 	st.env.Inbox = nil
+	if panicked {
+		// Deterministic crash conversion: the crashing round produces
+		// nothing (its partial send queue is discarded) and the node is
+		// silent and unreachable from here on — a fail-stop fault, the
+		// strongest containment the model offers. Clear the discarded
+		// queue so the dead node cannot pin payloads forever.
+		clear(sends)
+		st.sendBuf = sends[:0]
+		st.crashed = true
+		return stepResult{crashed: true, crashReason: reason}
+	}
+	var dropped int
+	if n.cfg.SendQuota > 0 || n.cfg.ByteQuota > 0 {
+		sends, dropped = n.applyQuota(sends)
+	}
 	if st.contacts != nil && !st.byzantine {
 		for i := range sends {
 			s := &sends[i]
@@ -313,12 +436,56 @@ func (n *Network) stepOne(st *procState) ([]send, error) {
 				continue
 			}
 			if _, known := st.contacts[s.to]; !known {
-				return nil, fmt.Errorf("%w: %v -> %v in round %d",
-					ErrContactRule, s.from, s.to, n.round)
+				return stepResult{err: fmt.Errorf("%w: %v -> %v in round %d",
+					ErrContactRule, s.from, s.to, n.round)}
 			}
 		}
 	}
-	return sends, nil
+	return stepResult{sends: sends, dropped: dropped}
+}
+
+// safeStep runs one Step call with panic containment. It exists so the
+// deferred recover covers exactly the process code: a panic in the
+// engine itself still crashes loudly.
+func safeStep(p Process, env *RoundEnv) (reason string, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			reason = fmt.Sprint(r)
+			panicked = true
+		}
+	}()
+	p.Step(env)
+	return "", false
+}
+
+// applyQuota truncates a node's send queue to the configured per-round
+// send and byte quotas: the longest prefix within both budgets survives,
+// in queue order, so the drop decision is a pure function of the queue —
+// identical for both runners and every worker count. It returns the
+// surviving prefix and the number of dropped sends.
+func (n *Network) applyQuota(sends []send) ([]send, int) {
+	keep := len(sends)
+	if q := n.cfg.SendQuota; q > 0 && keep > q {
+		keep = q
+	}
+	if q := n.cfg.ByteQuota; q > 0 {
+		var bytes int64
+		for i := 0; i < keep; i++ {
+			bytes += int64(len(sends[i].encoded))
+			if bytes > q {
+				keep = i
+				break
+			}
+		}
+	}
+	if keep == len(sends) {
+		return sends, 0
+	}
+	dropped := len(sends) - keep
+	// Clear the dropped tail so the recycled send buffer cannot pin the
+	// dropped payloads past the round.
+	clear(sends[keep:])
+	return sends[:keep], dropped
 }
 
 // Run executes rounds until stop returns true (checked after every round)
@@ -338,7 +505,10 @@ func (n *Network) Run(stop func(*Network) bool) (int, error) {
 
 // AllDone returns a stop predicate that is satisfied when every process
 // with one of the given ids reports Done. Use it to wait for the correct
-// nodes while Byzantine processes keep running.
+// nodes while Byzantine processes keep running. Removed and crashed
+// processes count as finished: like a node that left the network, a
+// crash-fault node will never report Done, and waiting on it would turn
+// every contained panic into a round-limit error.
 func AllDone(waitFor []ids.ID) func(*Network) bool {
 	return func(n *Network) bool {
 		for _, id := range waitFor {
@@ -346,10 +516,30 @@ func AllDone(waitFor []ids.ID) func(*Network) bool {
 			if !ok {
 				continue // removed processes count as finished
 			}
+			if st.crashed {
+				continue // crash faults never halt; don't wait for them
+			}
 			if !st.proc.Done() {
 				return false
 			}
 		}
 		return true
 	}
+}
+
+// Crashes returns the contained Step panics so far, in containment
+// order (round, then node order within a round). The panic values are
+// diagnostic only; the trace transcript records crashes as
+// trace.KindNodeCrashed events without them.
+func (n *Network) Crashes() []CrashRecord {
+	out := make([]CrashRecord, len(n.crashes))
+	copy(out, n.crashes)
+	return out
+}
+
+// Crashed reports whether the process with the given id was converted
+// into a crash fault by panic containment.
+func (n *Network) Crashed(id ids.ID) bool {
+	st, ok := n.procs[id]
+	return ok && st.crashed
 }

@@ -39,7 +39,10 @@ func BenchmarkRoundEngineConcurrent(b *testing.B) {
 }
 
 func benchRounds(b *testing.B, n int, concurrent bool) {
-	net, _ := NewBroadcastBench(n, b.N+2, concurrent)
+	net, _, err := NewBroadcastBench(n, b.N+2, concurrent)
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer net.Close()
 	// One warm-up round allocates the delivery arena (n² slots — tens of
 	// MB at the top sizes) outside the timed region, so low-iteration
@@ -83,7 +86,10 @@ func BenchmarkRoutePhaseConcurrent(b *testing.B) {
 func benchPhase(b *testing.B, concurrent bool, op func(*RoundPhases) error) {
 	for _, n := range phaseNs {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			rp := NewRoundPhases(n, concurrent)
+			rp, err := NewRoundPhases(n, concurrent)
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer rp.Close()
 			// Warm-up: the first route pass allocates the arena; keep
 			// that outside the timed region (see benchRounds).

@@ -115,6 +115,17 @@ func (n *Network) route(outs []send) (deliveries, bytes int64) {
 			n.cfg.EventLog.RecordBatch(shards[s].events)
 		}
 	}
+	if n.cfg.Observer != nil {
+		// Assemble the round's observer view: containment events first
+		// (node order, from the step merge), then deliveries in shard —
+		// i.e. receiver — order: the same order the EventLog records.
+		ev := n.roundEvents[:0]
+		ev = append(ev, n.stepEvents...)
+		for s := range shards {
+			ev = append(ev, shards[s].events...)
+		}
+		n.roundEvents = ev
+	}
 	return deliveries, bytes
 }
 
@@ -146,7 +157,9 @@ func (n *Network) routePrepare(outs []send) {
 	nl := len(n.live)
 	n.doneMask = grown(n.doneMask, nl)
 	for i, st := range n.live {
-		n.doneMask[i] = st.proc.Done()
+		// Crash faults are unreachable: containment means a crashed
+		// node receives nothing, exactly like a halted one.
+		n.doneMask[i] = st.crashed || st.proc.Done()
 	}
 
 	// (3) Dedup + classify. Same duplicate rules as the old send-major
@@ -249,7 +262,7 @@ func (n *Network) routePrepare(outs []send) {
 // and event buffer, and disjoint arena segments (capacity-capped, so
 // even a pathological append could not cross into a neighbour).
 func (n *Network) routeShardDeliver(sh *routeShard, outs []send) {
-	logging := n.cfg.EventLog != nil
+	logging := n.cfg.EventLog != nil || n.cfg.Observer != nil
 	round := n.round + 1 // deliveries land at the start of the next round
 	var deliveries, bytes int64
 	for i := sh.lo; i < sh.hi; i++ {
@@ -289,6 +302,7 @@ func (n *Network) routeShardDeliver(sh *routeShard, outs []send) {
 					Kind:      s.payload.Kind().String(),
 					Size:      len(s.encoded),
 					Broadcast: s.to == ids.None,
+					Enc:       s.encoded,
 				})
 			}
 		}

@@ -57,9 +57,12 @@ type poolTask struct {
 // released when the Network is garbage collected, so callers that drop a
 // concurrent Network without calling Close do not leak workers.
 func (n *Network) startPool() {
-	workers := runtime.GOMAXPROCS(0)
-	if len(n.live) < workers {
-		workers = len(n.live)
+	workers := n.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if len(n.live) < workers {
+			workers = len(n.live)
+		}
 	}
 	if workers < 1 {
 		workers = 1
@@ -102,8 +105,7 @@ func (p *workerPool) work() {
 				if i >= len(t.live) {
 					break
 				}
-				sends, err := t.net.stepOne(t.live[i])
-				t.res[i] = stepResult{sends: sends, err: err}
+				t.res[i] = t.net.stepOne(t.live[i])
 			}
 		case phaseRoute:
 			shards := t.net.shards

@@ -6,20 +6,43 @@ import (
 	"sync"
 )
 
-// Event is one delivered message in a recorded transcript.
+// Event is one entry in a recorded transcript. Most events are message
+// deliveries; the engine also records fault-containment events (see
+// KindNodeCrashed and KindQuotaDrop), which carry a node in From and
+// leave To zero.
 type Event struct {
 	// Round is the round the message was delivered in (i.e. it was
-	// sent in Round-1).
+	// sent in Round-1). For containment events it is the round the
+	// fault was contained in.
 	Round int
 	// From and To are the sender and receiver ids.
 	From, To uint64
-	// Kind is the payload kind name.
+	// Kind is the payload kind name, or one of the engine event kinds
+	// (KindNodeCrashed, KindQuotaDrop).
 	Kind string
-	// Size is the encoded payload size in bytes.
+	// Size is the encoded payload size in bytes. For KindQuotaDrop it
+	// is the number of dropped send operations.
 	Size int
 	// Broadcast marks deliveries that were part of a broadcast fan-out.
 	Broadcast bool
+	// Enc is the canonical wire encoding of the delivered payload,
+	// shared with the engine's send buffers (a string header, not a
+	// copy). It lets online monitors (internal/oracle) decode message
+	// contents without re-capturing traffic. Empty for engine events.
+	Enc string
 }
+
+// Engine event kinds recorded by the fault-containment layer, reserved
+// names that no wire payload uses (see wire.Kind.String).
+const (
+	// KindNodeCrashed records that a node's Step panicked and the
+	// engine converted it into a crash fault: the node is silent and
+	// receives nothing from that round on.
+	KindNodeCrashed = "node-crashed"
+	// KindQuotaDrop records that a node exceeded its per-round send or
+	// byte quota; Size carries the number of dropped sends.
+	KindQuotaDrop = "quota-drop"
+)
 
 // EventLog records a message-level transcript of a run — the debugging
 // view of an execution: who delivered what to whom, round by round. It
@@ -141,6 +164,18 @@ func (l *EventLog) Render(w io.Writer, maxRounds int) error {
 			if _, err := fmt.Fprintf(w, "--- round %d ---\n", currentRound); err != nil {
 				return err
 			}
+		}
+		switch k.kind {
+		case KindNodeCrashed:
+			if _, err := fmt.Fprintf(w, "  %d !! crashed (Step panic contained)\n", k.from); err != nil {
+				return err
+			}
+			continue
+		case KindQuotaDrop:
+			if _, err := fmt.Fprintf(w, "  %d !! quota exceeded (%d sends dropped)\n", k.from, g.bytes); err != nil {
+				return err
+			}
+			continue
 		}
 		if g.broadcast || g.receivers > 1 {
 			if _, err := fmt.Fprintf(w, "  %d =>(all:%d) %-18s %dB\n",

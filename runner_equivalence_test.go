@@ -2,12 +2,16 @@ package uba_test
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 	"slices"
 	"testing"
 
 	"uba"
+	"uba/internal/ids"
+	"uba/internal/simnet"
 	"uba/internal/trace"
+	"uba/internal/wire"
 )
 
 // runnerOutcome captures everything observable about one protocol run:
@@ -123,4 +127,90 @@ func at(events []trace.Event, i int) any {
 		return events[i]
 	}
 	return "<past end>"
+}
+
+// crashingChatter is a chatter process whose Step panics in a chosen
+// round, after queueing a send the containment layer must discard.
+type crashingChatter struct {
+	simnet.ChatterProcess
+	Round int
+}
+
+func (c *crashingChatter) Step(env *simnet.RoundEnv) {
+	if env.Round == c.Round {
+		env.Broadcast(wire.Event{Round: uint64(env.Round), Body: []byte("boom")})
+		panic("injected crash")
+	}
+	c.ChatterProcess.Step(env)
+}
+
+// runCrashWorkload runs twelve chatter processes, four of which panic in
+// staggered rounds, on a pool of the given size (0 = sequential runner),
+// and returns the transcript and crash records.
+func runCrashWorkload(t *testing.T, workers int) ([]trace.Event, []simnet.CrashRecord) {
+	t.Helper()
+	log := trace.NewEventLog(500_000)
+	net := simnet.New(simnet.Config{
+		MaxRounds:  20,
+		EventLog:   log,
+		Concurrent: workers > 0,
+		Workers:    workers,
+	})
+	if workers > 0 {
+		defer net.Close()
+	}
+	rng := rand.New(rand.NewSource(7))
+	nodeIDs := ids.Sparse(rng, 12)
+	for i, id := range nodeIDs {
+		var p simnet.Process = &simnet.ChatterProcess{Ident: id}
+		if i%3 == 0 {
+			p = &crashingChatter{ChatterProcess: simnet.ChatterProcess{Ident: id}, Round: 2 + i/3}
+		}
+		if err := net.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Run(func(n *simnet.Network) bool { return n.Round() >= 8 }); err != nil {
+		t.Fatal(err)
+	}
+	if log.Dropped() > 0 {
+		t.Fatalf("transcript truncated (%d dropped)", log.Dropped())
+	}
+	return log.Events(), net.Crashes()
+}
+
+// TestCrashEquivalenceAcrossWorkerCounts asserts that contained Step
+// panics are deterministic: the full transcript — including every
+// NodeCrashed event — and the crash records are identical between the
+// sequential runner and pools of 1, 3 and 5 workers.
+func TestCrashEquivalenceAcrossWorkerCounts(t *testing.T) {
+	t.Parallel()
+	baseEvents, baseCrashes := runCrashWorkload(t, 0)
+	crashed := 0
+	for _, e := range baseEvents {
+		if e.Kind == trace.KindNodeCrashed {
+			crashed++
+		}
+	}
+	if crashed != 4 {
+		t.Fatalf("%d NodeCrashed events, want 4", crashed)
+	}
+	if len(baseCrashes) != 4 {
+		t.Fatalf("%d crash records, want 4: %+v", len(baseCrashes), baseCrashes)
+	}
+	for _, workers := range []int{1, 3, 5} {
+		events, crashes := runCrashWorkload(t, workers)
+		if !slices.Equal(baseEvents, events) {
+			i := 0
+			for i < len(baseEvents) && i < len(events) && baseEvents[i] == events[i] {
+				i++
+			}
+			t.Fatalf("workers=%d: transcripts diverge at event %d of %d/%d:\n  sequential: %+v\n  pooled:     %+v",
+				workers, i, len(baseEvents), len(events), at(baseEvents, i), at(events, i))
+		}
+		if !reflect.DeepEqual(baseCrashes, crashes) {
+			t.Fatalf("workers=%d: crash records differ:\n  sequential: %+v\n  pooled:     %+v",
+				workers, baseCrashes, crashes)
+		}
+	}
 }

@@ -123,6 +123,16 @@ type Config struct {
 	EventLog *trace.EventLog
 	// CrashAfterRound is used by AdversaryCrash (default 5).
 	CrashAfterRound int
+	// Observer, when non-nil, receives each round's trace events at the
+	// round boundary — the attachment point for online safety oracles
+	// (internal/oracle.Suite implements it).
+	Observer simnet.RoundObserver
+	// SendQuota bounds the messages any one node may queue per round
+	// (0 = unlimited); see simnet.Config.SendQuota.
+	SendQuota int
+	// ByteQuota bounds the encoded bytes any one node may queue per
+	// round (0 = unlimited); see simnet.Config.ByteQuota.
+	ByteQuota int64
 }
 
 func (c Config) validate() error {
@@ -178,6 +188,9 @@ func newCluster(cfg Config) (*cluster, error) {
 		Concurrent: cfg.Concurrent,
 		Collector:  collector,
 		EventLog:   cfg.EventLog,
+		Observer:   cfg.Observer,
+		SendQuota:  cfg.SendQuota,
+		ByteQuota:  cfg.ByteQuota,
 	})
 	return &cluster{
 		cfg:        cfg,
