@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json perf-smoke chaos-smoke experiments experiments-md fuzz examples vet lint clean
+.PHONY: all build test test-short race cover bench bench-json bench-sparse perf-smoke chaos-smoke experiments experiments-md fuzz examples vet lint clean
 
 all: vet lint test
 
@@ -52,11 +52,22 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ubabench -benchjson -benchout BENCH_simnet.json
 
-# Warn-only perf regression smoke: re-measures the n=256 round/step/route
-# benchmarks and diffs ns/op against the committed BENCH_simnet.json.
-# Never fails on a slow run (CI timing is noisy); read the output.
+# Perf regression gate: re-measures the n=256 round/step/route
+# benchmarks and enforces per-row ns/op and allocs/op bands against the
+# committed BENCH_simnet.json. A row outside its band fails the target;
+# escape hatch for an understood, not-yet-rebaselined change:
+#   make perf-smoke PERFSMOKE_FLAGS=-warn-only
+PERFSMOKE_FLAGS ?=
 perf-smoke:
-	$(GO) run ./cmd/ubabench -perfsmoke
+	$(GO) run ./cmd/ubabench -perfsmoke $(PERFSMOKE_FLAGS)
+
+# Sparse-delivery scaling check: the large-n broadcast-heavy rounds that
+# the shared-broadcast-block delivery exists for. One sequential and one
+# concurrent round benchmark at n=8192 under a wall-clock budget
+# (-benchtime is per-benchmark; timeout is the hard stop), emitted as
+# plain `go test -bench` output for the CI artifact.
+bench-sparse:
+	$(GO) test ./internal/simnet -run '^$$' -bench 'BenchmarkRoundEngineSparse' -benchmem -benchtime 3x -timeout 300s
 
 # Seeded chaos campaign: random Byzantine coalitions against every
 # protocol family with online safety oracles attached (agreement,

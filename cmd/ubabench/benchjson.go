@@ -12,8 +12,12 @@ import (
 )
 
 // benchSizes are the system sizes the full-round micro-benchmarks
-// sweep; n=256 is the size the perf acceptance gate tracks.
-var benchSizes = []int{32, 128, 256, 512, 1024, 2048}
+// sweep; n=256 is the size the perf acceptance gate tracks. The sizes
+// past 2048 exist because of the sparse delivery path: a broadcast is
+// materialized once per round in a shared block instead of once per
+// receiver, so rounds stay near-linear where the dense engine was
+// quadratic in both time and memory.
+var benchSizes = []int{32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
 
 // phaseSizes are the sizes the phase-split (step-only / route-only)
 // benchmarks sweep. The split attributes round time to the half that
@@ -33,7 +37,10 @@ type engineBenchResult struct {
 	Phase string `json:"phase,omitempty"`
 	// N is the system size; one op is one full round (n broadcasts,
 	// n² deliveries) or one phase of it.
-	N           int     `json:"n"`
+	N int `json:"n"`
+	// Procs is a fixed GOMAXPROCS the row was measured under, or 0 for
+	// rows that use the host's setting (the file-level GOMAXPROCS).
+	Procs       int     `json:"procs,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -55,6 +62,7 @@ type benchSpec struct {
 	runner string
 	phase  string // "" for full-round specs
 	n      int
+	procs  int // fixed GOMAXPROCS, 0 = host setting
 	bench  func(b *testing.B)
 }
 
@@ -71,9 +79,9 @@ func roundSpec(runner string, n int) benchSpec {
 				b.Fatal(err)
 			}
 			defer net.Close()
-			// One warm-up round allocates the delivery arena (n² slots
-			// — tens of MB at the top sizes) outside the timed region,
-			// so low-iteration runs measure the steady-state per-round
+			// One warm-up round sizes the shared broadcast block and
+			// scratch buffers outside the timed region, so
+			// low-iteration runs measure the steady-state per-round
 			// cost, not a one-time page-in.
 			if err := net.RunRound(); err != nil {
 				b.Fatal(err)
@@ -114,8 +122,9 @@ func phaseSpec(phase, runner string, n int) benchSpec {
 					return fmt.Errorf("unknown phase %q", phase)
 				}
 			}
-			// Warm-up: the first route pass allocates the arena; keep
-			// that outside the timed region (see roundSpec).
+			// Warm-up: the first route pass sizes the delivery
+			// buffers; keep that outside the timed region (see
+			// roundSpec).
 			if err := op(); err != nil {
 				b.Fatal(err)
 			}
@@ -130,8 +139,25 @@ func phaseSpec(phase, runner string, n int) benchSpec {
 	}
 }
 
+// procsSpec pins GOMAXPROCS for the duration of one spec, so the
+// committed baseline carries a fixed-parallelism row that does not
+// depend on the core count of whichever machine regenerated it.
+func procsSpec(spec benchSpec, procs int) benchSpec {
+	inner := spec.bench
+	spec.name = fmt.Sprintf("%s/procs=%d", spec.name, procs)
+	spec.procs = procs
+	spec.bench = func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		inner(b)
+	}
+	return spec
+}
+
 // allSpecs is the full `make bench-json` sweep: round benchmarks over
-// benchSizes, then the phase split over phaseSizes, for both runners.
+// benchSizes, then the phase split over phaseSizes, for both runners,
+// plus a GOMAXPROCS-pinned concurrent row at the top size so scaling
+// under fixed parallelism is tracked in-repo.
 func allSpecs() []benchSpec {
 	var specs []benchSpec
 	for _, runner := range []string{"sequential", "concurrent"} {
@@ -146,6 +172,7 @@ func allSpecs() []benchSpec {
 			}
 		}
 	}
+	specs = append(specs, procsSpec(roundSpec("concurrent", 8192), 4))
 	return specs
 }
 
@@ -160,6 +187,7 @@ func measure(spec benchSpec) (engineBenchResult, error) {
 		Runner:      spec.runner,
 		Phase:       spec.phase,
 		N:           spec.n,
+		Procs:       spec.procs,
 		Iterations:  res.N,
 		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 		AllocsPerOp: res.AllocsPerOp(),

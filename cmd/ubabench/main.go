@@ -9,7 +9,8 @@
 //	ubabench -only E4   # a single experiment
 //	ubabench -markdown  # Markdown tables (EXPERIMENTS.md format)
 //	ubabench -benchjson # round-engine micro-benchmarks -> BENCH_simnet.json
-//	ubabench -perfsmoke # warn-only n=256 diff against the committed baseline
+//	ubabench -perfsmoke # n=256 ns/op + allocs/op gate against the committed baseline
+//	                    # (add -warn-only to report without failing)
 package main
 
 import (
@@ -36,9 +37,11 @@ func run(args []string, out io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit Markdown tables")
 	benchjson := fs.Bool("benchjson", false, "run the round-engine micro-benchmarks and write them as JSON (see -benchout)")
 	benchout := fs.String("benchout", "BENCH_simnet.json", "output path for -benchjson")
-	perfsmoke := fs.Bool("perfsmoke", false, "run the n=256 round/step/route benchmarks and diff ns/op against the committed baseline (warn-only)")
+	perfsmoke := fs.Bool("perfsmoke", false, "run the n=256 round/step/route benchmarks and gate ns/op and allocs/op against the committed baseline")
 	baseline := fs.String("baseline", "BENCH_simnet.json", "baseline path for -perfsmoke")
-	tolerance := fs.Float64("tolerance", 0.5, "perf-smoke warn threshold as a fraction of baseline ns/op")
+	tolerance := fs.Float64("tolerance", 0.5, "perf-smoke failure band as a fraction of baseline ns/op")
+	allocTolerance := fs.Float64("alloc-tolerance", 0.1, "perf-smoke failure band as a fraction of baseline allocs/op")
+	warnOnly := fs.Bool("warn-only", false, "report perf-smoke band violations without failing (escape hatch while re-baselining)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,7 +50,7 @@ func run(args []string, out io.Writer) error {
 		return runBenchJSON(*benchout, out)
 	}
 	if *perfsmoke {
-		return runPerfSmoke(*baseline, *tolerance, out)
+		return runPerfSmoke(*baseline, *tolerance, *allocTolerance, *warnOnly, out)
 	}
 
 	experiments := exp.All()

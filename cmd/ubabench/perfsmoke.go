@@ -23,12 +23,24 @@ func smokeSpecs() []benchSpec {
 	return specs
 }
 
-// runPerfSmoke re-measures the smoke subset and diffs ns/op against the
-// committed baseline. It is warn-only: timing noise on shared CI
-// runners makes a hard gate flaky, so regressions are reported (for the
-// uploaded artifact and the job log) but never fail the build. Only a
-// broken benchmark or an unreadable baseline returns an error.
-func runPerfSmoke(baselinePath string, tolerance float64, out io.Writer) error {
+// allocSlack is the absolute allocs/op headroom added on top of the
+// relative band: allocation counts are deterministic for this engine,
+// but the testing harness itself can contribute a couple of allocations
+// at low iteration counts, and a zero baseline row would otherwise
+// admit no slack at all.
+const allocSlack = 2
+
+// runPerfSmoke re-measures the smoke subset and diffs it against the
+// committed baseline, enforcing a per-row tolerance band on ns/op AND
+// on allocs/op. Timing gets a wide band (nsTol, default +50%) because
+// shared CI runners are noisy; allocation counts get a tight band
+// (allocTol + allocSlack) because they are schedule-independent — an
+// allocs/op regression is a real code change, not jitter.
+//
+// A row outside either band fails the run unless warnOnly is set — the
+// one-flag escape hatch (-warn-only) for landing a change whose cost is
+// understood before the baseline is regenerated.
+func runPerfSmoke(baselinePath string, nsTol, allocTol float64, warnOnly bool, out io.Writer) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("perf smoke: %w", err)
@@ -37,44 +49,61 @@ func runPerfSmoke(baselinePath string, tolerance float64, out io.Writer) error {
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return fmt.Errorf("perf smoke: parsing %s: %w", baselinePath, err)
 	}
-	fmt.Fprintf(out, "perf smoke vs %s (baseline %s gomaxprocs=%d; here %s gomaxprocs=%d; tolerance ±%.0f%%)\n",
+	fmt.Fprintf(out, "perf smoke vs %s (baseline %s gomaxprocs=%d; here %s gomaxprocs=%d; bands ns/op +%.0f%%, allocs/op +%.0f%%+%d)\n",
 		baselinePath, baseline.GoVersion, baseline.GOMAXPROCS,
-		runtime.Version(), runtime.GOMAXPROCS(0), tolerance*100)
-	return perfSmokeDiff(baseline, smokeSpecs(), tolerance, out)
+		runtime.Version(), runtime.GOMAXPROCS(0), nsTol*100, allocTol*100, allocSlack)
+	violations, err := perfSmokeDiff(baseline, smokeSpecs(), nsTol, allocTol, out)
+	if err != nil {
+		return err
+	}
+	if violations == 0 {
+		fmt.Fprintln(out, "perf smoke: all benchmarks within tolerance")
+		return nil
+	}
+	if warnOnly {
+		fmt.Fprintf(out, "perf smoke: %d row(s) out of tolerance — -warn-only set, build not failed; regenerate the baseline with `make bench-json` if the change is intentional\n",
+			violations)
+		return nil
+	}
+	return fmt.Errorf("perf smoke: %d row(s) out of tolerance; regenerate the baseline with `make bench-json` if the change is intentional, or pass -warn-only to land first and re-baseline after",
+		violations)
 }
 
-// perfSmokeDiff measures each spec and reports its delta against the
-// baseline row of the same name.
-func perfSmokeDiff(baseline engineBenchFile, specs []benchSpec, tolerance float64, out io.Writer) error {
+// perfSmokeDiff measures each spec and reports its ns/op and allocs/op
+// deltas against the baseline row of the same name, returning how many
+// rows broke their band.
+func perfSmokeDiff(baseline engineBenchFile, specs []benchSpec, nsTol, allocTol float64, out io.Writer) (int, error) {
 	byName := make(map[string]engineBenchResult, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
 		byName[b.Name] = b
 	}
-	warnings := 0
+	violations := 0
 	for _, spec := range specs {
 		r, err := measure(spec)
 		if err != nil {
-			return fmt.Errorf("perf smoke: %w", err)
+			return violations, fmt.Errorf("perf smoke: %w", err)
 		}
 		base, ok := byName[r.Name]
 		if !ok {
 			fmt.Fprintf(out, "%-40s %12.0f ns/op   (no baseline row; skipped)\n", r.Name, r.NsPerOp)
 			continue
 		}
-		delta := (r.NsPerOp - base.NsPerOp) / base.NsPerOp
+		nsDelta := (r.NsPerOp - base.NsPerOp) / base.NsPerOp
+		allocBand := float64(base.AllocsPerOp)*(1+allocTol) + allocSlack
 		verdict := "ok"
-		if delta > tolerance {
-			verdict = "WARN: slower than baseline"
-			warnings++
+		switch {
+		case nsDelta > nsTol && float64(r.AllocsPerOp) > allocBand:
+			verdict = "FAIL: ns/op and allocs/op over band"
+			violations++
+		case nsDelta > nsTol:
+			verdict = "FAIL: ns/op over band"
+			violations++
+		case float64(r.AllocsPerOp) > allocBand:
+			verdict = "FAIL: allocs/op over band"
+			violations++
 		}
-		fmt.Fprintf(out, "%-40s %12.0f ns/op  baseline %12.0f  %+7.1f%%  %s\n",
-			r.Name, r.NsPerOp, base.NsPerOp, delta*100, verdict)
+		fmt.Fprintf(out, "%-40s %12.0f ns/op (base %12.0f, %+7.1f%%)  %6d allocs/op (band %6.0f)  %s\n",
+			r.Name, r.NsPerOp, base.NsPerOp, nsDelta*100, r.AllocsPerOp, allocBand, verdict)
 	}
-	if warnings > 0 {
-		fmt.Fprintf(out, "perf smoke: %d benchmark(s) exceeded the +%.0f%% tolerance — warn-only, build not failed; regenerate the baseline with `make bench-json` if the change is intentional\n",
-			warnings, tolerance*100)
-	} else {
-		fmt.Fprintln(out, "perf smoke: all benchmarks within tolerance")
-	}
-	return nil
+	return violations, nil
 }

@@ -1,6 +1,6 @@
 module uba
 
-go 1.22
+go 1.23
 
 // golang.org/x/tools is vendored (see vendor/) so the build — including
 // cmd/ubalint, the repo's go/analysis linter suite — works without

@@ -220,7 +220,7 @@ func (a *EchoAmplifier) Done() bool { return false }
 
 // Step implements simnet.Process.
 func (a *EchoAmplifier) Step(env *simnet.RoundEnv) {
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		switch p := m.Payload.(type) {
 		case wire.RBMessage:
 			a.seen[string(wire.Encode(wire.RBEcho{Source: p.Source, Body: p.Body}))] =

@@ -17,7 +17,7 @@ type sink struct {
 func (s *sink) ID() ids.ID { return s.id }
 func (s *sink) Done() bool { return false }
 func (s *sink) Step(env *simnet.RoundEnv) {
-	s.received = append(s.received, env.Inbox...)
+	s.received = append(s.received, env.Inbox.Slice()...)
 }
 
 // harness wires one adversary against a set of sinks.
@@ -277,7 +277,7 @@ type roundRecorder struct {
 func (r *roundRecorder) ID() ids.ID { return r.id }
 func (r *roundRecorder) Done() bool { return false }
 func (r *roundRecorder) Step(env *simnet.RoundEnv) {
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		r.byRound[env.Round] = append(r.byRound[env.Round], m.Payload.Kind())
 	}
 }

@@ -120,7 +120,7 @@ func (a *MembershipChurner) Step(env *simnet.RoundEnv) {
 		}
 	case 2:
 		// Bogus acks to anyone who announced presence last round.
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			if _, ok := m.Payload.(wire.Present); ok {
 				env.Send(m.From, wire.Ack{Round: uint64(env.Round * 1000)})
 			}

@@ -136,7 +136,7 @@ func (p *presentOnce) Step(env *simnet.RoundEnv) {
 	if env.Round == 1 {
 		env.Broadcast(wire.Present{})
 	}
-	p.received = append(p.received, env.Inbox...)
+	p.received = append(p.received, env.Inbox.Slice()...)
 }
 
 func TestGhostCandidateRepeat(t *testing.T) {

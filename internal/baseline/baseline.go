@@ -90,7 +90,7 @@ func (n *STBroadcast) Step(env *simnet.RoundEnv) {
 		}
 		return
 	}
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		switch p := m.Payload.(type) {
 		case wire.RBMessage:
 			if m.From != p.Source {
@@ -206,7 +206,7 @@ func (k *KingConsensus) Step(env *simnet.RoundEnv) {
 		}
 	case 3: // R4: adopt king unless a strong propose quorum was seen
 		k.kingOK = false
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			if op, ok := m.Payload.(wire.Opinion); ok && m.From == kingID {
 				k.kingValue = op.X
 				k.kingOK = true
@@ -255,9 +255,9 @@ func (a *ApproxAgreement) Step(env *simnet.RoundEnv) {
 	case 1:
 		env.Broadcast(wire.Input{X: wire.V(a.input)})
 	case 2:
-		values := make([]float64, 0, len(env.Inbox))
-		perSender := make(map[ids.ID]struct{}, len(env.Inbox))
-		for _, m := range env.Inbox {
+		values := make([]float64, 0, env.Inbox.Len())
+		perSender := make(map[ids.ID]struct{}, env.Inbox.Len())
+		for m := range env.Inbox.All() {
 			in, ok := m.Payload.(wire.Input)
 			if !ok || in.X.IsBot {
 				continue
@@ -329,7 +329,7 @@ func (r *Rotor) Step(env *simnet.RoundEnv) {
 	// Opinion from the previous round's coordinator.
 	if env.Round > 1 {
 		prev := ids.ID(env.Round - 1)
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			if op, ok := m.Payload.(wire.Opinion); ok && m.From == prev {
 				r.accepted = append(r.accepted, rotorOpinion{
 					round: env.Round, from: prev, x: op.X,
@@ -347,9 +347,9 @@ func (r *Rotor) Step(env *simnet.RoundEnv) {
 }
 
 // tallyValues counts opinion-carrying payloads of one kind per value.
-func tallyValues(inbox []simnet.Received, kind wire.Kind) map[wire.ValueKey]valueCount {
+func tallyValues(inbox simnet.Inbox, kind wire.Kind) map[wire.ValueKey]valueCount {
 	counts := make(map[wire.ValueKey]valueCount)
-	for _, m := range inbox {
+	for m := range inbox.All() {
 		var v wire.Value
 		switch p := m.Payload.(type) {
 		case wire.Input:

@@ -56,7 +56,7 @@ func (e *earlyDecide) Step(env *simnet.RoundEnv) {
 	}
 	// The bug: adopt the last input delivered this round, trusting the
 	// sender completely.
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		if in, ok := m.Payload.(wire.Input); ok {
 			e.cand = in.X
 		}

@@ -158,10 +158,10 @@ func (n *Iterated) Step(env *simnet.RoundEnv) {
 // the algorithm's analysis assumes one value per faulty node per round, so
 // the smallest value per sender is kept (any deterministic pick works —
 // the adversary chose to equivocate and loses all but one vote).
-func gatherInputs(inbox []simnet.Received) []float64 {
-	perSender := make(map[ids.ID]float64, len(inbox))
-	seen := make(map[ids.ID]bool, len(inbox))
-	for _, m := range inbox {
+func gatherInputs(inbox simnet.Inbox) []float64 {
+	perSender := make(map[ids.ID]float64, inbox.Len())
+	seen := make(map[ids.ID]bool, inbox.Len())
+	for m := range inbox.All() {
 		in, ok := m.Payload.(wire.Input)
 		if !ok || in.Instance != 0 || in.X.IsBot {
 			continue

@@ -62,16 +62,16 @@ func TestCoordinatorOpinionFilteredBySelection(t *testing.T) {
 	}
 	env1 := &simnet.RoundEnv{Round: 1}
 	node.Step(env1)
-	env2 := &simnet.RoundEnv{Round: 2, Inbox: []simnet.Received{init(5), init(6), init(7)}}
+	env2 := &simnet.RoundEnv{Round: 2, Inbox: simnet.InboxOf(init(5), init(6), init(7))}
 	node.Step(env2)
 	if node.NV() != 3 {
 		t.Fatalf("frozen n_v = %d, want 3", node.NV())
 	}
 	// The node has not selected any coordinator; an opinion from 6 in a
 	// resolve round must not be adopted.
-	if _, ok := node.coordinatorOpinion([]simnet.Received{
-		{From: 6, Payload: wire.Opinion{X: wire.V(9)}},
-	}); ok {
+	if _, ok := node.coordinatorOpinion(simnet.InboxOf(
+		simnet.Received{From: 6, Payload: wire.Opinion{X: wire.V(9)}},
+	)); ok {
 		t.Fatal("opinion accepted from a non-selected node")
 	}
 }

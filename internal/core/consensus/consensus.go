@@ -287,11 +287,11 @@ func (n *Node) resolve(env *simnet.RoundEnv) {
 
 // coordinatorOpinion extracts the opinion(x) sent by this phase's
 // coordinator, if it arrived.
-func (n *Node) coordinatorOpinion(inbox []simnet.Received) (wire.Value, bool) {
+func (n *Node) coordinatorOpinion(inbox simnet.Inbox) (wire.Value, bool) {
 	if n.coordinator == ids.None {
 		return wire.Value{}, false
 	}
-	for _, m := range inbox {
+	for m := range inbox.All() {
 		if m.From != n.coordinator || !n.frozen.Contains(m.From) {
 			continue
 		}
@@ -321,10 +321,10 @@ func (n *Node) send(env *simnet.RoundEnv, p wire.Payload) {
 // tally counts the round's messages of the given kind from censused
 // senders and applies the substitution rule for censused ids that sent
 // nothing of that kind.
-func (n *Node) tally(inbox []simnet.Received, kind wire.Kind) tallies {
+func (n *Node) tally(inbox simnet.Inbox, kind wire.Kind) tallies {
 	t := newTallies()
 	senders := make(map[ids.ID]struct{})
-	for _, m := range inbox {
+	for m := range inbox.All() {
 		if !n.frozen.Contains(m.From) {
 			continue
 		}
@@ -373,7 +373,7 @@ func (n *Node) tally(inbox []simnet.Received, kind wire.Kind) tallies {
 
 // observeAll tracks senders during initialization.
 func (n *Node) observeAll(env *simnet.RoundEnv) {
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		n.cen.Observe(m.From)
 	}
 }

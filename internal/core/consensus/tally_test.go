@@ -18,7 +18,7 @@ func initNode(t *testing.T, self ids.ID, censusIDs []ids.ID, input wire.Value) *
 	for _, id := range censusIDs {
 		inbox = append(inbox, simnet.Received{From: id, Payload: wire.Init{}})
 	}
-	node.Step(&simnet.RoundEnv{Round: 2, Inbox: inbox})
+	node.Step(&simnet.RoundEnv{Round: 2, Inbox: simnet.InboxOf(inbox...)})
 	if node.NV() != len(censusIDs) {
 		t.Fatalf("frozen n_v = %d, want %d", node.NV(), len(censusIDs))
 	}
@@ -42,10 +42,10 @@ func TestTallySubstitutionSemantics(t *testing.T) {
 
 	// Tally of an inbox where only 1 (self) and 2 sent inputs: ids 3,
 	// 4, 5 are missing and substitute the node's own 7.
-	tally := node.tally([]simnet.Received{
+	tally := node.tally(simnet.InboxOf(
 		rcv(1, wire.Input{X: wire.V(7)}),
 		rcv(2, wire.Input{X: wire.V(9)}),
-	}, wire.KindInput)
+	), wire.KindInput)
 	if got := tally.counts[wire.V(7).Key()]; got != 1+3 {
 		t.Fatalf("count(7) = %d, want 4 (self + 3 substituted)", got)
 	}
@@ -62,10 +62,10 @@ func TestTallyMarkersPreventSubstitution(t *testing.T) {
 	node.send(&simnet.RoundEnv{Round: 4}, wire.Prefer{X: wire.V(5)})
 
 	// Node 2 sends a marker, node 3 is silent: only node 3 substitutes.
-	tally := node.tally([]simnet.Received{
+	tally := node.tally(simnet.InboxOf(
 		rcv(1, wire.Prefer{X: wire.V(5)}),
 		rcv(2, wire.NoPreference{}),
-	}, wire.KindPrefer)
+	), wire.KindPrefer)
 	if got := tally.counts[wire.V(5).Key()]; got != 1+1 {
 		t.Fatalf("count(5) = %d, want 2 (self + substituted node 3)", got)
 	}
@@ -76,9 +76,9 @@ func TestTallyNoSubstitutionWithoutOwnSend(t *testing.T) {
 	censusIDs := []ids.ID{1, 2, 3}
 	node := initNode(t, 1, censusIDs, wire.V(5))
 	// The node never sent a strongprefer: no fills for missing senders.
-	tally := node.tally([]simnet.Received{
+	tally := node.tally(simnet.InboxOf(
 		rcv(2, wire.StrongPrefer{X: wire.V(1)}),
-	}, wire.KindStrongPrefer)
+	), wire.KindStrongPrefer)
 	total := 0
 	for _, c := range tally.counts {
 		total += c
@@ -92,10 +92,10 @@ func TestTallyIgnoresStrangersAndForeignInstances(t *testing.T) {
 	t.Parallel()
 	censusIDs := []ids.ID{1, 2, 3}
 	node := initNode(t, 1, censusIDs, wire.V(5))
-	tally := node.tally([]simnet.Received{
+	tally := node.tally(simnet.InboxOf(
 		rcv(99, wire.Input{X: wire.V(1)}),             // stranger
 		rcv(2, wire.Input{Instance: 7, X: wire.V(1)}), // tagged for another protocol
-	}, wire.KindInput)
+	), wire.KindInput)
 	total := 0
 	for _, c := range tally.counts {
 		total += c
@@ -113,11 +113,11 @@ func TestTallyDoubleVoteCountsBothValues(t *testing.T) {
 	censusIDs := []ids.ID{1, 2}
 	node := initNode(t, 1, censusIDs, wire.V(0))
 	node.Step(&simnet.RoundEnv{Round: 3}) // sends input(0)
-	tally := node.tally([]simnet.Received{
+	tally := node.tally(simnet.InboxOf(
 		rcv(1, wire.Input{X: wire.V(0)}),
 		rcv(2, wire.Input{X: wire.V(3)}),
 		rcv(2, wire.Input{X: wire.V(4)}),
-	}, wire.KindInput)
+	), wire.KindInput)
 	if tally.counts[wire.V(3).Key()] != 1 || tally.counts[wire.V(4).Key()] != 1 {
 		t.Fatalf("double vote miscounted: %+v", tally.counts)
 	}
@@ -132,16 +132,16 @@ func TestCoordinatorOpinionRequiresCensusMember(t *testing.T) {
 	censusIDs := []ids.ID{1, 2, 3}
 	node := initNode(t, 1, censusIDs, wire.V(0))
 	node.coordinator = 99 // a coordinator id outside the census
-	if _, ok := node.coordinatorOpinion([]simnet.Received{
+	if _, ok := node.coordinatorOpinion(simnet.InboxOf(
 		rcv(99, wire.Opinion{X: wire.V(5)}),
-	}); ok {
+	)); ok {
 		t.Fatal("opinion accepted from non-censused coordinator")
 	}
 	node.coordinator = 2
-	x, ok := node.coordinatorOpinion([]simnet.Received{
+	x, ok := node.coordinatorOpinion(simnet.InboxOf(
 		rcv(2, wire.Opinion{X: wire.V(5)}),
 		rcv(3, wire.Opinion{X: wire.V(6)}), // not the coordinator
-	})
+	))
 	if !ok || !x.Equal(wire.V(5)) {
 		t.Fatalf("coordinator opinion = (%v, %v)", x, ok)
 	}
@@ -153,16 +153,16 @@ func TestWithoutMarkersSendsNothingOnNoQuorum(t *testing.T) {
 	t.Parallel()
 	count := func(node *Node) int {
 		node.Step(&simnet.RoundEnv{Round: 1})
-		node.Step(&simnet.RoundEnv{Round: 2, Inbox: []simnet.Received{
+		node.Step(&simnet.RoundEnv{Round: 2, Inbox: simnet.InboxOf(
 			rcv(1, wire.Init{}), rcv(2, wire.Init{}), rcv(3, wire.Init{}),
-		}})
+		)})
 		node.Step(&simnet.RoundEnv{Round: 3}) // PR1 input
 		// PR2 with an inbox giving no 2n_v/3 quorum for any value.
-		env := &simnet.RoundEnv{Round: 4, Inbox: []simnet.Received{
+		env := &simnet.RoundEnv{Round: 4, Inbox: simnet.InboxOf(
 			rcv(1, wire.Input{X: wire.V(1)}),
 			rcv(2, wire.Input{X: wire.V(2)}),
 			rcv(3, wire.Input{X: wire.V(3)}),
-		}}
+		)}
 		node.Step(env)
 		return env.SendCount()
 	}

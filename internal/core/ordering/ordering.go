@@ -180,7 +180,7 @@ func (n *Node) Step(env *simnet.RoundEnv) {
 	}
 	var intake []eventIn
 	members := n.snapshot(n.r)
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		switch p := m.Payload.(type) {
 		case wire.Present:
 			// Joiner announced in round r participates from r+2.
@@ -269,7 +269,7 @@ func (n *Node) stepJoin(env *simnet.RoundEnv) {
 	// Collect acks, adopt the majority round, and the senders as S.
 	counts := make(map[uint64]int)
 	senders := ids.NewSet()
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		if ack, ok := m.Payload.(wire.Ack); ok {
 			counts[ack.Round]++
 			senders.Add(m.From)

@@ -226,7 +226,7 @@ func (n *Node) Step(env *simnet.RoundEnv) {
 // StepLocal runs one round of the protocol. Embedding protocols
 // (total ordering) call it directly with their own send function and a
 // pre-filtered inbox.
-func (n *Node) StepLocal(round int, inbox []simnet.Received, send func(wire.Payload)) {
+func (n *Node) StepLocal(round int, inbox simnet.Inbox, send func(wire.Payload)) {
 	if n.done {
 		return
 	}
@@ -393,8 +393,8 @@ func (n *Node) accepts(instanceID uint64) bool {
 
 // scanAwareness joins instances first heard during the joinable windows of
 // the first phase and permanently ignores everything else.
-func (n *Node) scanAwareness(inbox []simnet.Received, phase, pr int) {
-	for _, m := range inbox {
+func (n *Node) scanAwareness(inbox simnet.Inbox, phase, pr int) {
+	for m := range inbox.All() {
 		if !n.acceptSender(m.From) {
 			continue
 		}
@@ -433,12 +433,12 @@ func (n *Node) scanAwareness(inbox []simnet.Received, phase, pr int) {
 
 // coordinatorOpinions extracts per-instance opinions sent by this phase's
 // coordinator.
-func (n *Node) coordinatorOpinions(inbox []simnet.Received) map[uint64]wire.Value {
+func (n *Node) coordinatorOpinions(inbox simnet.Inbox) map[uint64]wire.Value {
 	out := make(map[uint64]wire.Value)
 	if n.coordinator == ids.None {
 		return out
 	}
-	for _, m := range inbox {
+	for m := range inbox.All() {
 		if m.From != n.coordinator || !n.acceptSender(m.From) {
 			continue
 		}
@@ -452,11 +452,11 @@ func (n *Node) coordinatorOpinions(inbox []simnet.Received) map[uint64]wire.Valu
 // tally counts one message family for one instance, applying the paper's
 // substitution rules. Marker messages (nopreference/nostrongpreference)
 // count their sender as present without contributing an opinion.
-func (n *Node) tally(ins *instance, inbox []simnet.Received, fam family) tallies {
+func (n *Node) tally(ins *instance, inbox simnet.Inbox, fam family) tallies {
 	t := newTallies()
 	senders := make(map[ids.ID]struct{})
 	sawReal := false
-	for _, m := range inbox {
+	for m := range inbox.All() {
 		if !n.acceptSender(m.From) {
 			continue
 		}
@@ -508,8 +508,8 @@ func (n *Node) tally(ins *instance, inbox []simnet.Received, fam family) tallies
 	return t
 }
 
-func (n *Node) observe(inbox []simnet.Received) {
-	for _, m := range inbox {
+func (n *Node) observe(inbox simnet.Inbox) {
+	for m := range inbox.All() {
 		n.cen.Observe(m.From)
 	}
 }

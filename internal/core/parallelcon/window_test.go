@@ -23,10 +23,10 @@ func TestJoinViaInputWindow(t *testing.T) {
 	t.Parallel()
 	members := []ids.ID{1, 2, 3, 4}
 	n := memberNode(1, members, nil)
-	n.StepLocal(1, nil, func(wire.Payload) {}) // PR1: nothing (no inputs)
-	n.StepLocal(2, []simnet.Received{
+	n.StepLocal(1, simnet.Inbox{}, func(wire.Payload) {}) // PR1: nothing (no inputs)
+	n.StepLocal(2, simnet.InboxOf(
 		rcvP(2, wire.Input{Instance: 9, X: wire.V(5)}),
-	}, func(wire.Payload) {})
+	), func(wire.Payload) {})
 	if !n.Aware(9) {
 		t.Fatal("input at PR2 did not create awareness")
 	}
@@ -41,9 +41,9 @@ func TestJoinViaPreferWindow(t *testing.T) {
 		"nopreference": wire.NoPreference{Instance: 9},
 	} {
 		n := memberNode(1, members, nil)
-		n.StepLocal(1, nil, func(wire.Payload) {})
-		n.StepLocal(2, nil, func(wire.Payload) {})
-		n.StepLocal(3, []simnet.Received{rcvP(2, payload)}, func(wire.Payload) {})
+		n.StepLocal(1, simnet.Inbox{}, func(wire.Payload) {})
+		n.StepLocal(2, simnet.Inbox{}, func(wire.Payload) {})
+		n.StepLocal(3, simnet.InboxOf(rcvP(2, payload)), func(wire.Payload) {})
 		if !n.Aware(9) {
 			t.Fatalf("%s at PR3 did not create awareness", name)
 		}
@@ -57,16 +57,16 @@ func TestJoinViaStrongPreferWindowTerminatesBot(t *testing.T) {
 	members := []ids.ID{1, 2, 3, 4}
 	n := memberNode(1, members, nil)
 	silent := func(wire.Payload) {}
-	n.StepLocal(1, nil, silent)
-	n.StepLocal(2, nil, silent)
-	n.StepLocal(3, nil, silent)
-	n.StepLocal(4, []simnet.Received{
+	n.StepLocal(1, simnet.Inbox{}, silent)
+	n.StepLocal(2, simnet.Inbox{}, silent)
+	n.StepLocal(3, simnet.Inbox{}, silent)
+	n.StepLocal(4, simnet.InboxOf(
 		rcvP(2, wire.StrongPrefer{Instance: 9, X: wire.V(5)}),
-	}, silent)
+	), silent)
 	if !n.Aware(9) {
 		t.Fatal("strongprefer at PR4 did not create awareness")
 	}
-	n.StepLocal(5, nil, silent) // PR5: resolve
+	n.StepLocal(5, simnet.Inbox{}, silent) // PR5: resolve
 	if r := n.DecisionRound(9); r != 5 {
 		t.Fatalf("instance decided in round %d, want 5", r)
 	}
@@ -81,22 +81,22 @@ func TestFirstContactViaOpinionIsIgnored(t *testing.T) {
 	members := []ids.ID{1, 2, 3, 4}
 	n := memberNode(1, members, nil)
 	silent := func(wire.Payload) {}
-	n.StepLocal(1, nil, silent)
-	n.StepLocal(2, nil, silent)
-	n.StepLocal(3, nil, silent)
-	n.StepLocal(4, nil, silent)
-	n.StepLocal(5, []simnet.Received{
+	n.StepLocal(1, simnet.Inbox{}, silent)
+	n.StepLocal(2, simnet.Inbox{}, silent)
+	n.StepLocal(3, simnet.Inbox{}, silent)
+	n.StepLocal(4, simnet.Inbox{}, silent)
+	n.StepLocal(5, simnet.InboxOf(
 		rcvP(2, wire.Opinion{Instance: 9, X: wire.V(5)}),
-	}, silent)
+	), silent)
 	if n.Aware(9) {
 		t.Fatal("joined via an opinion message")
 	}
 	// The instance is permanently ignored, even if joinable-window
 	// messages arrive in a later phase.
-	n.StepLocal(6, nil, silent) // phase 1 PR1
-	n.StepLocal(7, []simnet.Received{
+	n.StepLocal(6, simnet.Inbox{}, silent) // phase 1 PR1
+	n.StepLocal(7, simnet.InboxOf(
 		rcvP(2, wire.Input{Instance: 9, X: wire.V(5)}),
-	}, silent)
+	), silent)
 	if n.Aware(9) {
 		t.Fatal("ignored instance resurrected in phase 1")
 	}
@@ -109,12 +109,12 @@ func TestSecondPhaseContactIgnored(t *testing.T) {
 	n := memberNode(1, members, nil)
 	silent := func(wire.Payload) {}
 	for round := 1; round <= 6; round++ {
-		n.StepLocal(round, nil, silent)
+		n.StepLocal(round, simnet.Inbox{}, silent)
 	}
 	// Round 7 = phase 1, PR2: the input window of the wrong phase.
-	n.StepLocal(7, []simnet.Received{
+	n.StepLocal(7, simnet.InboxOf(
 		rcvP(2, wire.Input{Instance: 11, X: wire.V(3)}),
-	}, silent)
+	), silent)
 	if n.Aware(11) {
 		t.Fatal("second-phase input created awareness")
 	}
@@ -126,10 +126,10 @@ func TestStrangerCannotSeedInstance(t *testing.T) {
 	members := []ids.ID{1, 2, 3, 4}
 	n := memberNode(1, members, nil)
 	silent := func(wire.Payload) {}
-	n.StepLocal(1, nil, silent)
-	n.StepLocal(2, []simnet.Received{
+	n.StepLocal(1, simnet.Inbox{}, silent)
+	n.StepLocal(2, simnet.InboxOf(
 		rcvP(77, wire.Input{Instance: 9, X: wire.V(5)}),
-	}, silent)
+	), silent)
 	if n.Aware(9) {
 		t.Fatal("stranger seeded an instance")
 	}
@@ -156,12 +156,12 @@ func TestEmptyRunFinishesAfterFirstPhase(t *testing.T) {
 	n := memberNode(1, members, nil)
 	silent := func(wire.Payload) {}
 	for round := 1; round <= 4; round++ {
-		n.StepLocal(round, nil, silent)
+		n.StepLocal(round, simnet.Inbox{}, silent)
 		if n.Done() {
 			t.Fatalf("done before the phase completed (round %d)", round)
 		}
 	}
-	n.StepLocal(5, nil, silent)
+	n.StepLocal(5, simnet.Inbox{}, silent)
 	if !n.Done() {
 		t.Fatal("empty run not done after first phase")
 	}

@@ -92,7 +92,7 @@ func (n *Node) Done() bool { return false }
 
 // Step implements simnet.Process.
 func (n *Node) Step(env *simnet.RoundEnv) {
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		n.cen.Observe(m.From)
 	}
 
@@ -108,7 +108,7 @@ func (n *Node) Step(env *simnet.RoundEnv) {
 		// source*: the engine-stamped From must match the (m, s)
 		// source. A Byzantine node relaying someone else's (m, s) in
 		// round 1 does not trigger this echo.
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			rb, ok := m.Payload.(wire.RBMessage)
 			if !ok || m.From != rb.Source {
 				continue
@@ -128,7 +128,7 @@ func (n *Node) loopRound(env *simnet.RoundEnv) {
 	// counts distinct senders.
 	counts := make(map[key]int)
 	bodies := make(map[key][]byte)
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		echo, ok := m.Payload.(wire.RBEcho)
 		if !ok {
 			continue

@@ -83,14 +83,14 @@ func (n *Node) TerminationRound() int { return n.termRound }
 
 // Step implements simnet.Process.
 func (n *Node) Step(env *simnet.RoundEnv) {
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		n.cen.Observe(m.From)
 	}
 	switch env.Round {
 	case 1:
 		env.Broadcast(wire.Init{})
 	case 2:
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			if _, ok := m.Payload.(wire.Init); ok {
 				env.Broadcast(wire.IDEcho{Candidate: m.From})
 			}
@@ -105,7 +105,7 @@ func (n *Node) loopRound(env *simnet.RoundEnv) {
 
 	echoCounts := make(map[ids.ID]int)
 	termCounts := make(map[uint64]int)
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		switch p := m.Payload.(type) {
 		case wire.IDEcho:
 			if p.Instance == 0 {

@@ -99,8 +99,8 @@ func (c *Core) BroadcastInit(emit func(wire.Payload)) {
 
 // EchoInits emits echo(p) for every init received directly from p
 // (round 2 of the protocol).
-func (c *Core) EchoInits(inbox []simnet.Received, emit func(wire.Payload)) {
-	for _, m := range inbox {
+func (c *Core) EchoInits(inbox simnet.Inbox, emit func(wire.Payload)) {
+	for m := range inbox.All() {
 		if _, ok := m.Payload.(wire.Init); ok {
 			emit(wire.IDEcho{Instance: c.instance, Candidate: m.From})
 		}
@@ -111,8 +111,8 @@ func (c *Core) EchoInits(inbox []simnet.Received, emit func(wire.Payload)) {
 // candidate echoes (tallied by distinct sender until the next LoopRound)
 // and coordinator opinions. accept filters senders (nil accepts all);
 // consensus passes its frozen census.
-func (c *Core) NoteInbox(inbox []simnet.Received, accept func(ids.ID) bool) {
-	for _, m := range inbox {
+func (c *Core) NoteInbox(inbox simnet.Inbox, accept func(ids.ID) bool) {
+	for m := range inbox.All() {
 		if accept != nil && !accept(m.From) {
 			continue
 		}

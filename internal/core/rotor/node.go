@@ -35,7 +35,7 @@ func (n *Node) Done() bool { return n.core.Terminated() }
 
 // Step implements simnet.Process.
 func (n *Node) Step(env *simnet.RoundEnv) {
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		n.cen.Observe(m.From)
 	}
 	switch env.Round {

@@ -361,10 +361,10 @@ func TestCoreOpinionAcceptance(t *testing.T) {
 	}
 	// Opinion arrives from 10 (and a fake one from 20, which was not
 	// the previous coordinator and must be ignored).
-	core.NoteInbox([]simnet.Received{
-		{From: 10, Payload: wire.Opinion{X: wire.V(3.5)}},
-		{From: 20, Payload: wire.Opinion{X: wire.V(9)}},
-	}, nil)
+	core.NoteInbox(simnet.InboxOf(
+		simnet.Received{From: 10, Payload: wire.Opinion{X: wire.V(3.5)}},
+		simnet.Received{From: 20, Payload: wire.Opinion{X: wire.V(9)}},
+	), nil)
 	sel = core.LoopRound(2, wire.V(0), nil)
 	if !sel.OpinionOK || !sel.Opinion.Equal(wire.V(3.5)) || sel.PrevCoordinator != 10 {
 		t.Fatalf("opinion acceptance: %+v", sel)
@@ -377,11 +377,11 @@ func TestCoreFiltersByInstanceAndSender(t *testing.T) {
 	// Echo with wrong instance must be ignored; echo from filtered
 	// sender must be ignored.
 	accept := func(id ids.ID) bool { return id != 66 }
-	core.NoteInbox([]simnet.Received{
-		{From: 2, Payload: wire.IDEcho{Instance: 7, Candidate: 100}},
-		{From: 3, Payload: wire.IDEcho{Instance: 8, Candidate: 100}},
-		{From: 66, Payload: wire.IDEcho{Instance: 7, Candidate: 100}},
-	}, accept)
+	core.NoteInbox(simnet.InboxOf(
+		simnet.Received{From: 2, Payload: wire.IDEcho{Instance: 7, Candidate: 100}},
+		simnet.Received{From: 3, Payload: wire.IDEcho{Instance: 8, Candidate: 100}},
+		simnet.Received{From: 66, Payload: wire.IDEcho{Instance: 7, Candidate: 100}},
+	), accept)
 	// nv = 3: one valid echo passes n_v/3 (1 ≥ 1) but not 2n_v/3.
 	var emitted []wire.Payload
 	core.LoopRound(3, wire.V(0), func(p wire.Payload) { emitted = append(emitted, p) })

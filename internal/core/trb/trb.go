@@ -118,7 +118,7 @@ func (n *Node) Step(env *simnet.RoundEnv) {
 		// consensus (an equivocating source shows different bodies to
 		// different halves; the relay is what lets the losing half
 		// recover the winning content).
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			rb, ok := m.Payload.(wire.RBMessage)
 			if !ok || m.From != n.source || rb.Source != n.source {
 				continue
@@ -131,7 +131,7 @@ func (n *Node) Step(env *simnet.RoundEnv) {
 		n.con.Step(env)
 	default:
 		// Remember any body whose fingerprint we may later decide.
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			if rb, ok := m.Payload.(wire.RBMessage); ok {
 				n.noteBody(rb.Body)
 			}

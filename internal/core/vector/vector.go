@@ -88,7 +88,7 @@ func (n *Node) Step(env *simnet.RoundEnv) {
 		// Every directly received contribution becomes an input pair
 		// for the sender's slot; the stamped From makes the slot
 		// unforgeable.
-		for _, m := range env.Inbox {
+		for m := range env.Inbox.All() {
 			ev, ok := m.Payload.(wire.Event)
 			if !ok || ev.Round != 0 || len(ev.Body) != 8 {
 				continue

@@ -1,8 +1,9 @@
 // Package retainenv implements the ubalint pass enforcing the simnet
 // buffer-recycling contract: a Process.Step implementation must not
-// retain env, env.Inbox, or a pointer into the Inbox backing array past
-// the Step call (internal/simnet recycles all three; see the package
-// docs of internal/simnet and DESIGN.md "Static analysis").
+// retain env, the env.Inbox view, an iterator obtained from it, or a
+// pointer to either past the Step call (the view aliases the shared
+// broadcast block and unicast arena, which the engine recycles; see the
+// package docs of internal/simnet and DESIGN.md "Static analysis").
 //
 // The pass analyzes every method of the form Step(env *simnet.RoundEnv)
 // and flags the places where a round-scoped value can outlive the call:
@@ -13,17 +14,22 @@
 //   - sends on a channel
 //   - returns (including returns from nested function literals)
 //
-// Tracked values are the env parameter itself, the env.Inbox slice and
-// any subslice of it, pointers into it (&env.Inbox[i]), a dereferenced
-// copy (*env, whose Inbox field shares the backing array), env method
-// values (env.Broadcast retains env), composite literals and appends
-// embedding any of those, function literals capturing any of those, and
-// local variables assigned from one (propagated to a fixpoint,
-// flow-insensitively).
+// Tracked values are the env parameter itself, the env.Inbox view
+// (whose internal slices alias the recycled delivery storage), pointers
+// to it (&env.Inbox), a dereferenced copy (*env, whose Inbox field
+// shares the same backing arrays), env method values (env.Broadcast
+// retains env), results of calls whose summary launders the view into a
+// return value — notably env.Inbox.All(), whose iterator closes over
+// the backing arrays — composite literals and appends embedding any of
+// those, function literals capturing any of those, and local variables
+// assigned from one (propagated to a fixpoint, flow-insensitively).
 //
 // Copying individual Inbox elements out BY VALUE is explicitly safe
-// (simnet.Received is a value type) and is not flagged: msg :=
-// env.Inbox[i] and for _, m := range env.Inbox both copy.
+// (simnet.Received is a value type whose referents are not recycled)
+// and is not flagged: msg := env.Inbox.At(i) and for m := range
+// env.Inbox.All() both copy. At and Slice carry //lint:valuecopy
+// directives clearing their Flows facts, which is what keeps those
+// copy-outs untracked while a retained All() iterator is still caught.
 //
 // The pass consumes uba/internal/lint/summary facts at call sites, so
 // the interprocedural edges the intraprocedural walk used to miss are
@@ -311,9 +317,10 @@ func (c *checker) trackedExpr(e ast.Expr) bool {
 		if !c.trackedExpr(e.X) {
 			return false
 		}
-		// env.Inbox shares the recycled backing array; a method value
-		// like env.Broadcast retains env itself. Other selections on a
-		// dereferenced copy (x := *env; x.Round) are plain values.
+		// env.Inbox is a view whose internal slices alias the recycled
+		// backing arrays; a method value like env.Broadcast retains env
+		// itself. Other selections on a dereferenced copy (x := *env;
+		// x.Round) are plain values.
 		if e.Sel.Name == "Inbox" {
 			return true
 		}
@@ -336,7 +343,8 @@ func (c *checker) trackedExpr(e ast.Expr) bool {
 			return c.trackedExpr(e.X)
 		}
 	case *ast.IndexExpr:
-		// env.Inbox[i] is a by-value copy of a Received: safe.
+		// Indexing a tracked container copies the element out by value:
+		// safe for value-type elements like Received.
 		return false
 	case *ast.CallExpr:
 		// append(dst, env) (or any tracked argument) yields a slice
@@ -344,9 +352,9 @@ func (c *checker) trackedExpr(e ast.Expr) bool {
 		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
 			args := e.Args[1:]
 			for i, arg := range args {
-				// append(x, env.Inbox...) copies Received values out of
-				// the tracked array, so the ellipsis argument is safe;
-				// append(x, env) retains env itself.
+				// append(x, tracked...) copies values out of the tracked
+				// container, so the ellipsis argument is safe; append(x,
+				// env) retains env itself.
 				if e.Ellipsis.IsValid() && i == len(args)-1 {
 					continue
 				}

@@ -6,21 +6,22 @@ import "simnet"
 
 var global *simnet.RoundEnv
 
-// fieldStore retains env and the Inbox slice in receiver fields.
+// fieldStore retains env, the Inbox view, and an iterator over it in
+// receiver fields.
 type fieldStore struct {
 	savedEnv   *simnet.RoundEnv
-	savedInbox []simnet.Received
-	window     []simnet.Received
-	first      *simnet.Received
+	savedInbox simnet.Inbox
+	it         func(yield func(simnet.Received) bool)
+	first      *simnet.Inbox
 	all        []*simnet.RoundEnv
 }
 
 func (b *fieldStore) Step(env *simnet.RoundEnv) {
-	b.savedEnv = env          // want `round-scoped env stored in field savedEnv`
-	b.savedInbox = env.Inbox  // want `round-scoped env\.Inbox stored in field savedInbox`
-	global = env              // want `round-scoped env stored in package-level variable global`
-	b.window = env.Inbox[1:3] // want `round-scoped env\.Inbox stored in field window`
-	p := &env.Inbox[0]
+	b.savedEnv = env         // want `round-scoped env stored in field savedEnv`
+	b.savedInbox = env.Inbox // want `round-scoped env\.Inbox stored in field savedInbox`
+	global = env             // want `round-scoped env stored in package-level variable global`
+	b.it = env.Inbox.All()   // want `round-scoped value stored in field it`
+	p := &env.Inbox
 	b.first = p                // want `round-scoped p stored in field first`
 	b.all = append(b.all, env) // want `round-scoped value stored in field all`
 }
@@ -30,7 +31,7 @@ type spawner struct{ out []simnet.Received }
 
 func (s *spawner) Step(env *simnet.RoundEnv) {
 	go func() { // want `goroutine closure captures round-scoped env`
-		s.out = append(s.out, env.Inbox...)
+		s.out = append(s.out, env.Inbox.Slice()...)
 	}()
 	go record(env)           // want `round-scoped env passed to a goroutine`
 	go env.Broadcast("late") // want `goroutine invokes a method value retaining round-scoped state`
@@ -41,7 +42,7 @@ func record(env *simnet.RoundEnv) {}
 // channeler ships round-scoped values to another goroutine.
 type channeler struct {
 	envs    chan *simnet.RoundEnv
-	inboxes chan []simnet.Received
+	inboxes chan simnet.Inbox
 }
 
 func (c *channeler) Step(env *simnet.RoundEnv) {

@@ -12,15 +12,16 @@ type conforming struct {
 
 func (g *conforming) Step(env *simnet.RoundEnv) {
 	g.lastRound = env.Round // plain value copy
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		g.copied = append(g.copied, m) // Received values copy out safely
 		g.bytes += m.Size()
 	}
-	if len(env.Inbox) > 0 {
-		msg := env.Inbox[0] // by-value element copy
+	if env.Inbox.Len() > 0 {
+		msg := env.Inbox.At(0) // At is //lint:valuecopy: a by-value element copy
 		g.copied = append(g.copied, msg)
 	}
-	env.Broadcast("state") // self-append inside Broadcast: the self-store exemption
+	g.copied = append(g.copied, env.Inbox.Slice()...) // Slice allocates fresh copies
+	env.Broadcast("state")                            // self-append inside Broadcast: the self-store exemption
 	env.Send(1, "hi")
 	inspect(env) // non-retaining helper: its summary fact proves env does not escape
 }
@@ -38,9 +39,9 @@ func (g *interprocClean) Step(env *simnet.RoundEnv) {
 	g.total += e.Round
 }
 
-func tally(in []simnet.Received) int {
+func tally(in simnet.Inbox) int {
 	n := 0
-	for _, m := range in {
+	for m := range in.All() {
 		n += m.Size()
 	}
 	return n
@@ -48,7 +49,7 @@ func tally(in []simnet.Received) int {
 
 // suppressed demonstrates //lint:allow: the store below is deliberate
 // test instrumentation and must NOT be reported.
-type suppressed struct{ stash []simnet.Received }
+type suppressed struct{ stash simnet.Inbox }
 
 func (s *suppressed) Step(env *simnet.RoundEnv) {
 	//lint:allow retainenv instrumentation reads the inbox before the next round recycles it

@@ -12,11 +12,11 @@ import (
 // Step retains env exactly like the direct store in bad.go.
 type keeper struct {
 	env   *simnet.RoundEnv
-	inbox []simnet.Received
+	inbox simnet.Inbox
 }
 
-func (h *keeper) save(env *simnet.RoundEnv)      { h.env = env }
-func (h *keeper) saveInbox(in []simnet.Received) { h.inbox = in }
+func (h *keeper) save(env *simnet.RoundEnv) { h.env = env }
+func (h *keeper) saveInbox(in simnet.Inbox) { h.inbox = in }
 
 func (h *keeper) Step(env *simnet.RoundEnv) {
 	h.save(env)            // want `round-scoped env passed to save, which retains it past the call`
@@ -37,7 +37,7 @@ func wrap(e *simnet.RoundEnv) (*simnet.RoundEnv, error) { return e, nil }
 
 type launderer struct {
 	kept  *simnet.RoundEnv
-	items []simnet.Received
+	items simnet.Inbox
 }
 
 func (l *launderer) Step(env *simnet.RoundEnv) {
@@ -45,7 +45,7 @@ func (l *launderer) Step(env *simnet.RoundEnv) {
 	v, err := wrap(env)
 	_ = err
 	l.kept = v                           // want `round-scoped v stored in field kept`
-	l.items = retainhelp.Tail(env.Inbox) // want `round-scoped value stored in field items`
+	l.items = retainhelp.Pass(env.Inbox) // want `round-scoped value stored in field items`
 }
 
 // chained proves transitivity within the package: relay calls save, so

@@ -5,7 +5,7 @@ package retain
 
 import "simnet"
 
-type probe struct{ inbox []simnet.Received }
+type probe struct{ inbox simnet.Inbox }
 
 func (p *probe) Step(env *simnet.RoundEnv) {
 	p.inbox = env.Inbox // want `round-scoped env\.Inbox stored in field inbox`

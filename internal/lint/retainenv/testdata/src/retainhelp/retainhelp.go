@@ -11,14 +11,9 @@ var stash []*simnet.RoundEnv
 // Keep retains its argument in a package global.
 func Keep(env *simnet.RoundEnv) { stash = append(stash, env) }
 
-// Tail returns a subslice aliasing its argument's backing array: the
-// result launders the caller's taint.
-func Tail(in []simnet.Received) []simnet.Received {
-	if len(in) == 0 {
-		return nil
-	}
-	return in[1:]
-}
+// Pass returns the view unchanged: the Inbox still aliases the
+// recycled backing arrays, so the result launders the caller's taint.
+func Pass(in simnet.Inbox) simnet.Inbox { return in }
 
 // Count reads its argument without retaining it.
-func Count(in []simnet.Received) int { return len(in) }
+func Count(in simnet.Inbox) int { return in.Len() }

@@ -4,19 +4,67 @@
 // package name + type name, so fixtures behave like real Step methods.
 package simnet
 
-// Received mirrors the value-type delivered message.
+// Received mirrors the value-type delivered message. Body makes it
+// reference-carrying like the real type (whose Payload is an
+// interface), so the summary pass structurally sees element copies as
+// aliasing — exactly the shape the //lint:valuecopy directive on At
+// exists to override.
 type Received struct {
-	From    int
-	Payload string
+	From int
+	Body []byte
 }
 
 // Size mirrors the real accessor.
-func (m Received) Size() int { return len(m.Payload) }
+func (m Received) Size() int { return len(m.Payload()) }
+
+// Payload mirrors reading the decoded body.
+func (m Received) Payload() []byte { return m.Body }
+
+// Inbox mirrors the real lazy merged view: a value type over recycled
+// backing storage. Retaining an Inbox (or an iterator from All) past
+// Step retains the recycled arrays, so the retainenv pass tracks
+// env.Inbox exactly as it tracked the former slice.
+type Inbox struct {
+	msgs []Received
+}
+
+// InboxOf mirrors the test constructor.
+func InboxOf(msgs ...Received) Inbox { return Inbox{msgs: msgs} }
+
+// Len mirrors the real accessor.
+func (in Inbox) Len() int { return len(in.msgs) }
+
+// At returns the i'th delivered message.
+//
+//lint:valuecopy At returns a by-value Received copy that shares no round-scoped backing memory
+func (in Inbox) At(i int) Received { return in.msgs[i] }
+
+// All returns an iterator over the delivered messages. The iterator
+// closes over the recycled backing array: keeping it past Step is a
+// retention violation, which is why All carries no valuecopy directive.
+func (in Inbox) All() func(yield func(Received) bool) {
+	return func(yield func(Received) bool) {
+		for _, m := range in.msgs {
+			if !yield(m) {
+				return
+			}
+		}
+	}
+}
+
+// Slice returns the messages in a freshly allocated slice.
+//
+//lint:valuecopy Slice returns a freshly allocated slice of by-value copies
+func (in Inbox) Slice() []Received {
+	out := make([]Received, len(in.msgs))
+	copy(out, in.msgs)
+	return out
+}
 
 // RoundEnv mirrors the round view handed to Process.Step.
 type RoundEnv struct {
 	Round int
-	Inbox []Received
+	Inbox Inbox
 
 	out []string
 }

@@ -13,11 +13,11 @@ type isolated struct {
 }
 
 func (p *isolated) Step(env *simnet.RoundEnv) {
-	p.total += len(env.Inbox) // receiver state is per-process
+	p.total += env.Inbox.Len() // receiver state is per-process
 	if p.seen == nil {
 		p.seen = make(map[int]int, defaultRounds) // reading a global is fine
 	}
-	p.seen[env.Round] = len(env.Inbox)
+	p.seen[env.Round] = env.Inbox.Len()
 	local := 0
 	local++
 	_ = local

@@ -8,10 +8,18 @@ type Received struct {
 	Payload string
 }
 
+// Inbox mirrors the real lazy merged view over shared delivery storage.
+type Inbox struct {
+	msgs []Received
+}
+
+// Len mirrors the real accessor.
+func (in Inbox) Len() int { return len(in.msgs) }
+
 // RoundEnv mirrors the round view handed to Process.Step.
 type RoundEnv struct {
 	Round int
-	Inbox []Received
+	Inbox Inbox
 }
 
 // Broadcast mirrors the real queueing method.

@@ -37,10 +37,15 @@
 // Standard-library packages (sources under GOROOT) are not summarized:
 // their internal state is synchronization-protected machinery outside
 // the protocol state model, so std callees fall under the
-// effect-free-by-default rule. And a declaration whose doc comment
-// carries //lint:commutative <reason> has its OrderSensitive fact
-// cleared — the sorted-insert escape hatch for operations whose final
-// state the author asserts is independent of call order.
+// effect-free-by-default rule. Two doc-comment directives adjust a
+// declaration's facts: //lint:commutative <reason> clears
+// OrderSensitive — the sorted-insert escape hatch for operations whose
+// final state the author asserts is independent of call order — and
+// //lint:valuecopy <reason> clears Flows, asserting that the returned
+// value is a plain copy sharing no memory with the receiver or
+// arguments (the simnet.Inbox.At shape: structurally the result reads
+// through the receiver's backing arrays, but what comes back is a
+// by-value Received the caller may keep).
 package summary
 
 import (
@@ -193,9 +198,10 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 
 	// Collect every function declaration with a body, noting which carry
-	// a //lint:commutative directive.
+	// a //lint:commutative or //lint:valuecopy directive.
 	decls := make(map[*types.Func]*ast.FuncDecl)
 	commutative := make(map[*types.Func]bool)
+	valuecopy := make(map[*types.Func]bool)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -208,20 +214,25 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			decls[fn] = fd
 			res.local[fn] = FuncSummary{}
-			commutative[fn] = commutativeDirective(fd)
+			commutative[fn] = directive(fd, "//lint:commutative")
+			valuecopy[fn] = directive(fd, "//lint:valuecopy")
 		}
 	}
 
 	// Fixpoint over the package-internal call graph: recompute every
 	// summary against the current ones until nothing grows. Effects only
 	// accumulate (the lattice is a finite powerset plus two booleans),
-	// so mutual recursion converges.
+	// so mutual recursion converges. Directives are applied inside the
+	// loop so package-internal callers fold in the adjusted facts.
 	for changed := true; changed; {
 		changed = false
 		for fn, fd := range decls {
 			s := analyzeFunc(pass, res, fn, fd)
 			if commutative[fn] {
 				s.OrderSensitive = false
+			}
+			if valuecopy[fn] {
+				s.Flows = 0
 			}
 			if s != res.local[fn] {
 				res.local[fn] = s
@@ -255,23 +266,29 @@ func inGOROOT(pass *analysis.Pass) bool {
 	return strings.HasPrefix(file, filepath.Clean(root)+string(filepath.Separator))
 }
 
-// commutativeDirective reports whether fd's doc comment carries
+// directive reports whether fd's doc comment carries the given
+// fact-adjusting directive with a non-empty reason:
 //
-//	//lint:commutative <reason>
+//	//lint:commutative <reason> — the function's order-sensitive-looking
+//	effect is in fact independent of call order (the sorted-insert
+//	shape: ids.Set.Add appends, but the resulting set is identical
+//	under any insertion order). Clears only OrderSensitive.
 //
-// declaring that the function's order-sensitive-looking effect is in
-// fact independent of call order — the sorted-insert shape (ids.Set.Add
-// appends, but the resulting set is identical under any insertion
-// order). The directive clears only OrderSensitive; retention and
-// global-write facts are kept. Like the fold carve-outs, it is a
-// documented trust boundary: the analysis takes the author's word. A
-// directive with no reason is inert.
-func commutativeDirective(fd *ast.FuncDecl) bool {
+//	//lint:valuecopy <reason> — the function's return value is a plain
+//	by-value copy sharing no memory with the receiver or arguments,
+//	even though the body structurally reads through them (the
+//	simnet.Inbox.At shape: indexing a recycled backing array but
+//	returning a value-type element). Clears only Flows.
+//
+// Retention and global-write facts are never cleared. Like the fold
+// carve-outs, directives are a documented trust boundary: the analysis
+// takes the author's word. A directive with no reason is inert.
+func directive(fd *ast.FuncDecl, name string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		rest, ok := strings.CutPrefix(c.Text, "//lint:commutative")
+		rest, ok := strings.CutPrefix(c.Text, name)
 		if ok && len(strings.Fields(rest)) > 0 {
 			return true
 		}

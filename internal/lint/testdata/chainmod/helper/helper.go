@@ -18,4 +18,4 @@ func Note() { leaf.Bump() }
 func Relay(v string) { leaf.Record(v) }
 
 // Tally stays pure through the effect-free chain.
-func Tally(in []simnet.Received) int { return leaf.Size(in) }
+func Tally(in simnet.Inbox) int { return leaf.Size(in) }

@@ -22,4 +22,4 @@ func Bump() { hits++ }
 func Record(v string) { journal = append(journal, v) }
 
 // Size is effect-free.
-func Size(in []simnet.Received) int { return len(in) }
+func Size(in simnet.Inbox) int { return in.Len() }

@@ -9,10 +9,21 @@ type Received struct {
 	Payload string
 }
 
+// Inbox mirrors the real lazy merged view over shared delivery
+// storage. This module pins go 1.22, so it exposes only Len (the
+// range-over-func iterator needs a newer language version and is
+// exercised by the retainenv fixtures instead).
+type Inbox struct {
+	msgs []Received
+}
+
+// Len mirrors the real accessor.
+func (in Inbox) Len() int { return len(in.msgs) }
+
 // RoundEnv mirrors the round view handed to Process.Step.
 type RoundEnv struct {
 	Round int
-	Inbox []Received
+	Inbox Inbox
 
 	out []string
 }

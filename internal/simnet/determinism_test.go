@@ -9,6 +9,7 @@ import (
 
 	"uba/internal/ids"
 	"uba/internal/trace"
+	"uba/internal/wire"
 )
 
 // This file asserts the engine-level determinism contract the sharded
@@ -77,6 +78,19 @@ func runDeterminismWorkload(t *testing.T, workload string, seed int64, workers i
 			}
 		}
 		mustRounds(t, net, 6)
+	case "sparsemix": // dense shared broadcast block + sparse unicast arena
+		procs := make([]*sparseMix, 0, len(nodeIDs))
+		for i, id := range nodeIDs {
+			p := &sparseMix{id: id, idx: i, peers: nodeIDs}
+			procs = append(procs, p)
+			if err := net.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustRounds(t, net, 8)
+		for _, p := range procs {
+			out.logs[p.id] = p.log
+		}
 	case "panicky": // crashes + quota drops interleaved with chatter
 		for i, id := range nodeIDs {
 			var p Process
@@ -129,6 +143,34 @@ func at(events []trace.Event, i int) any {
 	return "<past end>"
 }
 
+// sparseMix is the workload shape the sparse delivery refactor exists
+// for: every node broadcasts every round (a dense shared broadcast
+// block), while a small round-varying subset adds unicasts (a sparse
+// per-receiver arena). Deliveries are logged through the indexed inbox
+// accessors, so the lazy view's merge order — not just the iterator's —
+// is part of the state compared across worker counts.
+type sparseMix struct {
+	id    ids.ID
+	idx   int
+	peers []ids.ID
+	log   []string
+}
+
+func (s *sparseMix) ID() ids.ID { return s.id }
+func (s *sparseMix) Done() bool { return false }
+
+func (s *sparseMix) Step(env *RoundEnv) {
+	for i := 0; i < env.Inbox.Len(); i++ {
+		m := env.Inbox.At(i)
+		s.log = append(s.log, fmt.Sprintf("%d<-%d:%x", env.Round, m.From, m.encoded))
+	}
+	env.Broadcast(wire.Event{Round: uint64(env.Round), Body: []byte{byte(s.idx)}})
+	if (env.Round+s.idx)%5 == 0 {
+		to := s.peers[(s.idx*7+env.Round)%len(s.peers)]
+		env.Send(to, wire.Event{Round: uint64(env.Round), Body: []byte("u")})
+	}
+}
+
 // TestEngineDeterminismAcrossWorkerCounts runs each workload
 // sequentially and on 1-, 2-, 3- and 5-worker pools and asserts the
 // complete observable state is identical, then repeats one pooled
@@ -136,7 +178,7 @@ func at(events []trace.Event, i int) any {
 // count.
 func TestEngineDeterminismAcrossWorkerCounts(t *testing.T) {
 	t.Parallel()
-	for _, workload := range []string{"gossip", "chatter", "panicky"} {
+	for _, workload := range []string{"gossip", "chatter", "sparsemix", "panicky"} {
 		for seed := int64(1); seed <= 3; seed++ {
 			workload, seed := workload, seed
 			t.Run(fmt.Sprintf("%s/seed=%d", workload, seed), func(t *testing.T) {

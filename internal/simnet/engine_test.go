@@ -176,30 +176,42 @@ func TestStepConcurrentErrorClearsResultSlices(t *testing.T) {
 	}
 }
 
-// Delivered inboxes are exactly-sized arena segments: append growth in
-// the delivery pass would mean the sizing pass undercounted (and could
-// tear a neighbouring segment if the capacity cap were missing).
-func TestInboxesAreExactArenaSegments(t *testing.T) {
+// Delivered inboxes are lazy views over shared storage: every live
+// receiver's view aliases the one broadcast block (a broadcast is
+// stored once per round, not once per receiver), its unicast segment is
+// exactly sized, and total materialized storage is O(B + U) — the
+// receiver count multiplies neither term.
+func TestInboxViewsShareBroadcastBlock(t *testing.T) {
 	t.Parallel()
 	net := New(Config{})
-	for i := ids.ID(1); i <= 5; i++ {
+	const n = 5
+	for i := ids.ID(1); i <= n; i++ {
 		i := i
 		if err := net.Add(newRecorder(i, func(env *RoundEnv) {
 			env.Broadcast(body("b"))
-			env.Send(1+(i%5), body("u"))
+			env.Send(1+(i%n), body("u"))
 		})); err != nil {
 			t.Fatal(err)
 		}
 	}
 	mustRounds(t, net, 1)
 	for _, st := range net.live {
-		if len(st.inbox) == 0 {
-			t.Fatalf("node %v received nothing", st.id)
+		in := st.inbox
+		if in.Len() != n+1 { // n broadcasts + 1 unicast each
+			t.Fatalf("node %v inbox length %d, want %d", st.id, in.Len(), n+1)
 		}
-		if len(st.inbox) != cap(st.inbox) {
-			t.Fatalf("node %v inbox len %d != cap %d: not an exact arena segment",
-				st.id, len(st.inbox), cap(st.inbox))
+		if len(in.bcast) != n || &in.bcast[0] != &net.bcastBlock[0] {
+			t.Fatalf("node %v broadcast side is not a view of the shared block", st.id)
 		}
+		if len(in.uni) != 1 || len(in.uni) != cap(in.uni) {
+			t.Fatalf("node %v unicast segment len %d cap %d: not an exactly-sized segment",
+				st.id, len(in.uni), cap(in.uni))
+		}
+	}
+	// The sparse invariant itself: materialized Received values are
+	// B + U, not n·(B+U)/receiver fan-out.
+	if got, want := len(net.bcastBlock)+len(net.uniArena), n+n; got != want {
+		t.Fatalf("materialized %d Received values, want O(B+U) = %d", got, want)
 	}
 }
 

@@ -59,19 +59,34 @@
 // identical for every worker count (including the sequential runner,
 // which is the one-shard instance of the same pipeline).
 //
-// # Buffer-recycling contract
+// # Sparse delivery and the buffer-recycling contract
 //
-// The engine recycles round-scoped buffers aggressively: the RoundEnv
-// passed to Process.Step, its Inbox slice, and the internal send buffers
-// are all reused on the next round. In particular, every inbox is an
-// exactly-sized segment of one arena shared by all receivers, and the
-// arena is rewritten in place each round. Process.Step therefore MUST
-// NOT retain env or env.Inbox (or any subslice of it) past the call.
-// Copy individual Received values out if state must survive the round;
-// the values themselves (sender id, payload, encoding) are safe to keep.
+// A broadcast is stored once per round, not once per receiver: the
+// route pass materializes the round's surviving broadcasts into one
+// shared broadcast block and each receiver's unicasts into a private
+// segment of one unicast arena, so per-round storage is O(B + U)
+// (B = surviving broadcasts, U = unicast deliveries) instead of the
+// n·B of a fully materialized fan-out. Each inbox is an Inbox view —
+// a lazy merge of the shared block with the receiver's segment — and
+// the merge order reproduces the documented (sender, encoding) order
+// exactly, so transcripts and dedup semantics are independent of the
+// storage strategy.
+//
+// The engine recycles those round-scoped buffers aggressively: the
+// RoundEnv passed to Process.Step, the broadcast block and unicast
+// arena its Inbox view reads through, and the internal send buffers
+// are all rewritten on the next round. Process.Step therefore MUST NOT
+// retain env, env.Inbox, or an iterator obtained from env.Inbox.All()
+// past the call. Copy individual Received values out (env.Inbox.At, a
+// range over env.Inbox.All(), or env.Inbox.Slice) if state must
+// survive the round; the values themselves (sender id, payload,
+// encoding) are safe to keep. The contract is machine-checked by the
+// ubalint retainenv pass.
 package simnet
 
 import (
+	"iter"
+
 	"uba/internal/ids"
 	"uba/internal/wire"
 )
@@ -120,19 +135,138 @@ func digest64(b []byte) uint64 {
 	return h
 }
 
+// Inbox is a read-only view of the messages delivered to one receiver
+// at the start of a round: a lazy merge of the round's shared broadcast
+// block with the receiver's private unicast segment. The merged order
+// is by sender id and then by canonical encoding (deterministic for
+// both runners), and duplicates from the same sender have already been
+// discarded — identical to the fully materialized inboxes it replaced,
+// without the O(n·B) copies.
+//
+// An Inbox (and any iterator from All) is valid only until the Step
+// call it was delivered to returns: the engine rewrites the backing
+// block and arena when routing the next round (see the package docs).
+// Individual Received values read through At, All, or Slice are plain
+// copies and safe to keep.
+type Inbox struct {
+	// bcast is the round's shared broadcast block (every surviving
+	// broadcast, in ascending send order), shared by all receivers;
+	// bkeys holds the aligned global send indices the merge runs on.
+	bcast []Received
+	bkeys []int32
+	// uni is this receiver's private unicast segment (ascending send
+	// order); ukeys holds its aligned global send indices. Either side
+	// may be empty, in which case its keys may be nil.
+	uni   []Received
+	ukeys []int32
+}
+
+// InboxOf returns an Inbox delivering exactly msgs in the given order —
+// the constructor for tests and harnesses that drive a Process manually.
+func InboxOf(msgs ...Received) Inbox {
+	return Inbox{uni: msgs}
+}
+
+// Len returns the number of delivered messages.
+func (in Inbox) Len() int { return len(in.bcast) + len(in.uni) }
+
+// At returns the i-th delivered message in inbox order. It runs in
+// O(log min(B, U)) — a binary search for the merge split — with O(1)
+// fast paths when the inbox is all-broadcast or all-unicast.
+//
+//lint:valuecopy At returns a by-value Received copy that shares no round-scoped backing memory
+func (in Inbox) At(i int) Received {
+	nb, nu := len(in.bcast), len(in.uni)
+	if nu == 0 {
+		return in.bcast[i]
+	}
+	if nb == 0 {
+		return in.uni[i]
+	}
+	// Find b, the number of broadcast messages among the first i+1
+	// merged elements: the smallest b with bkeys[b] > ukeys[k-b-1]
+	// (keys are distinct global send indices, so the merge is strict).
+	k := i + 1
+	lo, hi := max(0, k-nu), min(k, nb)
+	for lo < hi {
+		b := (lo + hi) / 2
+		if in.bkeys[b] < in.ukeys[k-b-1] {
+			lo = b + 1
+		} else {
+			hi = b
+		}
+	}
+	b := lo
+	u := k - b
+	// The i-th element is whichever side contributed the larger key.
+	switch {
+	case u == 0:
+		return in.bcast[b-1]
+	case b == 0:
+		return in.uni[u-1]
+	case in.bkeys[b-1] > in.ukeys[u-1]:
+		return in.bcast[b-1]
+	default:
+		return in.uni[u-1]
+	}
+}
+
+// All returns an iterator over the delivered messages in inbox order —
+// the replacement for ranging over the old materialized slice:
+//
+//	for m := range env.Inbox.All() { ... }
+//
+// The iterator reads through the engine's recycled buffers and must not
+// be retained past the Step call (the Received values it yields are
+// safe to keep).
+func (in Inbox) All() iter.Seq[Received] {
+	return func(yield func(Received) bool) {
+		bi, nb := 0, len(in.bcast)
+		ui, nu := 0, len(in.uni)
+		for bi < nb || ui < nu {
+			var m Received
+			if ui >= nu || (bi < nb && in.bkeys[bi] < in.ukeys[ui]) {
+				m = in.bcast[bi]
+				bi++
+			} else {
+				m = in.uni[ui]
+				ui++
+			}
+			if !yield(m) {
+				return
+			}
+		}
+	}
+}
+
+// Slice returns the delivered messages as a freshly allocated slice in
+// inbox order. It materializes a copy — the convenience for tests and
+// for the rare consumer that genuinely needs random access to an
+// owned snapshot; hot paths should iterate with All instead. The
+// returned slice is the caller's and safe to retain.
+//
+//lint:valuecopy Slice returns a freshly allocated slice of by-value copies
+func (in Inbox) Slice() []Received {
+	out := make([]Received, 0, in.Len())
+	for m := range in.All() {
+		out = append(out, m)
+	}
+	return out
+}
+
 // RoundEnv is the view a process gets of one round: the messages delivered
 // at the start of the round, and the ability to queue messages for
 // delivery in the next round. A RoundEnv is valid only for the duration of
-// the Step call it is passed to; the engine reuses both the env and its
-// Inbox backing array on later rounds (see the package docs), so neither
-// may be retained.
+// the Step call it is passed to; the engine reuses both the env and the
+// buffers behind its Inbox view on later rounds (see the package docs),
+// so neither may be retained.
 type RoundEnv struct {
 	// Round is the 1-based global round number.
 	Round int
-	// Inbox holds the messages delivered this round, sorted by sender
-	// id and then by canonical encoding (deterministic for both
+	// Inbox is the view of the messages delivered this round, sorted by
+	// sender id and then by canonical encoding (deterministic for both
 	// runners). Duplicates from the same sender have been discarded.
-	Inbox []Received
+	Inbox Inbox
 
 	self  ids.ID
 	sends []send

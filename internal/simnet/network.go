@@ -102,7 +102,7 @@ type procState struct {
 	// the panic and converted the node into a crash fault. A crashed
 	// node is never stepped again and receives no further messages.
 	crashed bool
-	inbox   []Received
+	inbox   Inbox
 	// contacts is the set of nodes that have delivered a message to
 	// this process, used for the contact rule. It is nil (and not
 	// maintained) unless Config.EnforceContactRule is set.
@@ -161,10 +161,6 @@ type Network struct {
 	bcastDigests []uint64
 	bcastEncs    []string
 
-	// Routing scratch (see route.go): the done snapshot, the surviving
-	// broadcast indices, the per-receiver unicast buckets, the exact
-	// per-receiver arena offsets, the shared inbox arena, and the
-	// per-shard delivery state.
 	// Containment state: contained panics in occurrence order, plus
 	// round-scoped event scratch (containment events of the current
 	// round, and the combined event slice handed to cfg.Observer).
@@ -172,17 +168,25 @@ type Network struct {
 	stepEvents  []trace.Event
 	roundEvents []trace.Event
 
-	doneMask  []bool
-	bcastIdx  []int32
-	uniRecv   []int32
-	uniSend   []int32
-	uniIdx    []int32
-	uniStart  []int32
-	uniCursor []int32
-	inboxOff  []int
-	arena     []Received
-	arenaLive int
-	shards    []routeShard
+	// Routing scratch (see route.go): the done snapshot, the surviving
+	// broadcast indices, the per-receiver unicast buckets, the shared
+	// broadcast block and unicast arena the inbox views read through,
+	// and the per-shard delivery state. bcastLive/uniLive track how
+	// much of the recycled block/arena held references last round, so
+	// shrinking rounds clear the dead tail.
+	doneMask   []bool
+	bcastIdx   []int32
+	uniRecv    []int32
+	uniSend    []int32
+	uniIdx     []int32
+	uniStart   []int32
+	uniCursor  []int32
+	bcastBlock []Received
+	bcastBytes int64
+	bcastLive  int
+	uniArena   []Received
+	uniLive    int
+	shards     []routeShard
 
 	pool *workerPool // lazily started by the concurrent runner
 }
@@ -397,10 +401,10 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 // conversion into a crash fault is identical for every worker count.
 func (n *Network) stepOne(st *procState) stepResult {
 	inbox := st.inbox
-	// The inbox segment points into the round arena, which route()
-	// overwrites wholesale next round — this is what forbids
-	// Process.Step from retaining env.Inbox.
-	st.inbox = nil
+	// The inbox view reads through the shared broadcast block and the
+	// unicast arena, which route() overwrites wholesale next round —
+	// this is what forbids Process.Step from retaining env.Inbox.
+	st.inbox = Inbox{}
 	if st.crashed || st.proc.Done() {
 		return stepResult{}
 	}
@@ -413,7 +417,7 @@ func (n *Network) stepOne(st *procState) stepResult {
 	reason, panicked := safeStep(st.proc, &st.env)
 	sends := st.env.sends
 	st.sendBuf = sends
-	st.env.Inbox = nil
+	st.env.Inbox = Inbox{}
 	if panicked {
 		// Deterministic crash conversion: the crashing round produces
 		// nothing (its partial send queue is discarded) and the node is

@@ -25,9 +25,7 @@ func (p *recorder) ID() ids.ID { return p.id }
 func (p *recorder) Done() bool { return p.done }
 
 func (p *recorder) Step(env *RoundEnv) {
-	inbox := make([]Received, len(env.Inbox))
-	copy(inbox, env.Inbox)
-	p.received = append(p.received, inbox)
+	p.received = append(p.received, env.Inbox.Slice())
 	if len(p.script) > 0 {
 		action := p.script[0]
 		p.script = p.script[1:]
@@ -408,7 +406,7 @@ func (g *gossip) Done() bool { return g.round >= 8 }
 
 func (g *gossip) Step(env *RoundEnv) {
 	g.round++
-	for _, m := range env.Inbox {
+	for m := range env.Inbox.All() {
 		g.log = append(g.log, fmt.Sprintf("%d<-%d:%x", env.Round, m.From, m.encoded))
 	}
 	// Deterministic pseudo-random behaviour seeded per node: broadcast

@@ -38,16 +38,36 @@ func BenchmarkRoundEngineConcurrent(b *testing.B) {
 	}
 }
 
+// BenchmarkRoundEngineSparse is the scaling showcase for the shared
+// broadcast block: broadcast-heavy rounds at sizes where the former
+// per-receiver materialization (n² Received values per round) was
+// prohibitive. One op is still one full round — n sends, n² logical
+// deliveries — but materialized storage is O(n), so the top sizes run
+// in near-linear time. `make bench-sparse` runs this subset under a
+// wall-clock budget and CI uploads the output as an artifact.
+func BenchmarkRoundEngineSparse(b *testing.B) {
+	for _, runner := range []struct {
+		name       string
+		concurrent bool
+	}{{"sequential", false}, {"concurrent", true}} {
+		for _, n := range []int{4096, 8192} {
+			b.Run(fmt.Sprintf("%s/n=%d", runner.name, n), func(b *testing.B) {
+				benchRounds(b, n, runner.concurrent)
+			})
+		}
+	}
+}
+
 func benchRounds(b *testing.B, n int, concurrent bool) {
 	net, _, err := NewBroadcastBench(n, b.N+2, concurrent)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer net.Close()
-	// One warm-up round allocates the delivery arena (n² slots — tens of
-	// MB at the top sizes) outside the timed region, so low-iteration
-	// runs measure the steady-state per-round cost, not a one-time
-	// page-in.
+	// One warm-up round sizes the shared broadcast block, the unicast
+	// arena, and the per-sender scratch outside the timed region, so
+	// low-iteration runs measure the steady-state per-round cost, not a
+	// one-time page-in.
 	if err := net.RunRound(); err != nil {
 		b.Fatal(err)
 	}
@@ -91,8 +111,9 @@ func benchPhase(b *testing.B, concurrent bool, op func(*RoundPhases) error) {
 				b.Fatal(err)
 			}
 			defer rp.Close()
-			// Warm-up: the first route pass allocates the arena; keep
-			// that outside the timed region (see benchRounds).
+			// Warm-up: the first route pass sizes the delivery
+			// buffers; keep that outside the timed region (see
+			// benchRounds).
 			if err := op(rp); err != nil {
 				b.Fatal(err)
 			}

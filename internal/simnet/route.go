@@ -9,9 +9,13 @@ import (
 	"uba/internal/trace"
 )
 
-// This file is the routing/delivery half of a round: the O(n²) fan-out
-// that dominates broadcast-heavy protocols. It is split into a cheap
-// serial prepare pass and a delivery pass that is embarrassingly
+// This file is the routing/delivery half of a round. Broadcast-heavy
+// protocols used to pay an O(n²) fan-out here — n receivers times B
+// materialized broadcast copies; now a broadcast is stored once in a
+// shared block and every inbox is a lazy view, so the whole pass is
+// O(S + B + U) (sends, surviving broadcasts, unicast deliveries) plus
+// the per-receiver constant of handing out views. It is split into a
+// cheap serial prepare pass and a delivery pass that is embarrassingly
 // parallel over receivers, so the concurrent runner can shard it across
 // the same worker pool that runs the step phase.
 //
@@ -36,24 +40,29 @@ import (
 //     the snapshot is exact). Unicasts are then bucketed per receiver
 //     with a stable counting sort, preserving send order.
 //
-//  3. Arena sizing (routePrepare). The classify pass yields the exact
-//     delivery count of every receiver (surviving broadcasts + its
-//     unicast bucket; zero if it is done), so one shared []Received
-//     arena is sized exactly and each receiver is assigned a
-//     capacity-capped segment. Inboxes are filled by index, never by
-//     growing append, and the arena itself is recycled across rounds —
-//     which is one of the reasons Process.Step must not retain
-//     env.Inbox (see the package docs).
+//  3. Sparse materialization (routePrepare). The surviving broadcasts
+//     are copied once into the shared broadcast block and the surviving
+//     unicasts once into the unicast arena, each aligned with its send
+//     index list — O(B + U) Received values total, regardless of the
+//     receiver count. The copies are what let a receiver's view outlive
+//     the outs buffer (both runners rewrite outs while inboxes are
+//     still being read next round). Block and arena are recycled across
+//     rounds — which is why Process.Step must not retain env.Inbox
+//     (see the package docs).
 //
 //  4. Delivery (routeShardDeliver). Receivers are partitioned into
 //     contiguous shards. Each shard walks its receivers in node order
-//     and, per receiver, merges the broadcast list with the receiver's
-//     unicast bucket by send index — reproducing exactly the
-//     (sender, encoding)-sorted inbox the old send-major loop produced,
-//     with cache-friendly sequential writes into the arena. Every inbox,
-//     contact set, per-shard tally and per-shard event buffer is written
-//     by exactly one worker, so the pass needs no locks and its output
-//     is independent of worker scheduling.
+//     and, per receiver, assembles an Inbox view over the shared block
+//     and the receiver's arena segment; the view's merge by send index
+//     reproduces exactly the (sender, encoding)-sorted inbox the
+//     materialized engine produced. Delivery and byte tallies are
+//     computed arithmetically (per-receiver: B broadcasts plus its
+//     bucket; bytes: the block's byte total plus the bucket's) without
+//     touching message data; only contact-set maintenance and
+//     transcript logging walk the merge, and only when enabled. Every
+//     inbox, contact set, per-shard tally and per-shard event buffer is
+//     written by exactly one worker, so the pass needs no locks and its
+//     output is independent of worker scheduling.
 //
 //  5. Merge (route). Per-shard delivery/byte tallies are reduced and
 //     per-shard event buffers appended to the EventLog in shard — i.e.
@@ -101,9 +110,9 @@ func (n *Network) route(outs []send) (deliveries, bytes int64) {
 		shards[s].events = shards[s].events[:0]
 	}
 	if nshards == 1 {
-		n.routeShardDeliver(&shards[0], outs)
+		n.routeShardDeliver(&shards[0])
 	} else {
-		n.pool.runRoute(n, outs)
+		n.pool.runRoute(n)
 	}
 
 	for s := range shards {
@@ -229,87 +238,124 @@ func (n *Network) routePrepare(outs []send) {
 		n.uniCursor[r]++
 	}
 
-	// (5) Exact arena offsets: receiver i gets (surviving broadcasts +
-	// its unicast bucket) slots, zero if done. Delivering by index into
-	// pre-sized segments is what kills the append-growth churn of the
-	// old per-receiver inbox buffers.
-	n.inboxOff = grown(n.inboxOff, nl+1)
+	// (5) Sparse materialization: copy the surviving broadcasts once
+	// into the shared block and the surviving unicasts once into the
+	// arena, aligned with bcastIdx and uniIdx respectively. Receivers
+	// get views over these copies, never over outs — both runners
+	// rewrite outs while next round's inboxes are still being read.
+	// Shrink-clearing the recycled tails drops the references held by
+	// last round's larger block/arena so dead payloads are not pinned.
 	nb := len(n.bcastIdx)
-	off := 0
-	for i := 0; i < nl; i++ {
-		n.inboxOff[i] = off
-		if !n.doneMask[i] {
-			off += nb + int(n.uniStart[i+1]-n.uniStart[i])
-		}
+	n.bcastBlock = recycled(n.bcastBlock, nb, &n.bcastLive)
+	var bbytes int64
+	for j, k := range n.bcastIdx {
+		s := &outs[k]
+		n.bcastBlock[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
+		bbytes += int64(len(s.encoded))
 	}
-	n.inboxOff[nl] = off
-	if cap(n.arena) < off {
-		n.arena = make([]Received, off)
-	} else {
-		if off < n.arenaLive {
-			// Drop references held by last round's unused tail so the
-			// arena cannot pin payloads past their round.
-			clear(n.arena[off:n.arenaLive])
-		}
-		n.arena = n.arena[:off]
+	n.bcastBytes = bbytes
+	nu := len(n.uniIdx)
+	n.uniArena = recycled(n.uniArena, nu, &n.uniLive)
+	for j, k := range n.uniIdx {
+		s := &outs[k]
+		n.uniArena[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
 	}
-	n.arenaLive = off
 }
 
-// routeShardDeliver fills the inboxes of the receivers in sh's range.
-// It is safe to run concurrently for disjoint shards: it writes only
-// the shard's receivers' inboxes/contact sets, the shard's own tallies
-// and event buffer, and disjoint arena segments (capacity-capped, so
-// even a pathological append could not cross into a neighbour).
-func (n *Network) routeShardDeliver(sh *routeShard, outs []send) {
+// routeShardDeliver hands out the inbox views of the receivers in sh's
+// range. It is safe to run concurrently for disjoint shards: it writes
+// only the shard's receivers' inboxes/contact sets and the shard's own
+// tallies and event buffer; the broadcast block, the unicast arena and
+// the index lists the views read through are written only by the serial
+// prepare pass and are read-only here.
+func (n *Network) routeShardDeliver(sh *routeShard) {
 	logging := n.cfg.EventLog != nil || n.cfg.Observer != nil
 	round := n.round + 1 // deliveries land at the start of the next round
+	nb := len(n.bcastBlock)
 	var deliveries, bytes int64
 	for i := sh.lo; i < sh.hi; i++ {
 		st := n.live[i]
-		lo, hi := n.inboxOff[i], n.inboxOff[i+1]
-		if lo == hi {
-			st.inbox = nil
+		if n.doneMask[i] {
+			st.inbox = Inbox{}
 			continue
 		}
-		seg := n.arena[lo:hi:hi]
-		bi, bn := 0, len(n.bcastIdx)
-		ui, un := int(n.uniStart[i]), int(n.uniStart[i+1])
-		for w := range seg {
-			// Merge the broadcast list with this receiver's unicast
-			// bucket by send index: the receiver-relevant subsequence
-			// of the (from, encoding, to)-sorted send stream, i.e. the
-			// documented (sender, encoding) inbox order.
-			var k int32
-			if ui >= un || (bi < bn && n.bcastIdx[bi] < n.uniIdx[ui]) {
-				k = n.bcastIdx[bi]
+		ulo, uhi := int(n.uniStart[i]), int(n.uniStart[i+1])
+		nm := nb + (uhi - ulo)
+		if nm == 0 {
+			st.inbox = Inbox{}
+			continue
+		}
+		// The receiver's inbox is a view: the shared broadcast block
+		// merged with its private arena segment by global send index —
+		// the receiver-relevant subsequence of the (from, encoding,
+		// to)-sorted send stream, i.e. the documented (sender,
+		// encoding) inbox order. Capacity caps keep even a pathological
+		// append on a leaked slice from crossing into a neighbour.
+		st.inbox = Inbox{
+			bcast: n.bcastBlock[:nb:nb],
+			bkeys: n.bcastIdx[:nb:nb],
+			uni:   n.uniArena[ulo:uhi:uhi],
+			ukeys: n.uniIdx[ulo:uhi:uhi],
+		}
+		// Tallies are arithmetic — no per-receiver message walk: the
+		// block's sizes are shared by every live receiver.
+		deliveries += int64(nm)
+		bytes += n.bcastBytes
+		for j := ulo; j < uhi; j++ {
+			bytes += int64(len(n.uniArena[j].encoded))
+		}
+		if st.contacts == nil && !logging {
+			continue
+		}
+		// Contact-set maintenance and transcript logging are the only
+		// consumers that need the merged order; walk it just for them.
+		bi, ui := 0, ulo
+		for bi < nb || ui < uhi {
+			var m Received
+			var isBcast bool
+			if ui >= uhi || (bi < nb && n.bcastIdx[bi] < n.uniIdx[ui]) {
+				m = n.bcastBlock[bi]
 				bi++
+				isBcast = true
 			} else {
-				k = n.uniIdx[ui]
+				m = n.uniArena[ui]
 				ui++
 			}
-			s := &outs[k]
-			seg[w] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
-			bytes += int64(len(s.encoded))
 			if st.contacts != nil {
-				st.contacts[s.from] = struct{}{}
+				st.contacts[m.From] = struct{}{}
 			}
 			if logging {
 				sh.events = append(sh.events, trace.Event{
 					Round:     round,
-					From:      uint64(s.from),
+					From:      uint64(m.From),
 					To:        uint64(st.id),
-					Kind:      s.payload.Kind().String(),
-					Size:      len(s.encoded),
-					Broadcast: s.to == ids.None,
-					Enc:       s.encoded,
+					Kind:      m.Payload.Kind().String(),
+					Size:      len(m.encoded),
+					Broadcast: isBcast,
+					Enc:       m.encoded,
 				})
 			}
 		}
-		deliveries += int64(len(seg))
-		st.inbox = seg
 	}
 	sh.deliveries, sh.bytes = deliveries, bytes
+}
+
+// recycled returns s resized to n elements, reusing its backing array
+// when possible and clearing the previously live tail beyond n so a
+// shrinking round cannot pin the references the dead slots held. live
+// is updated to n. Contents of the returned slice are unspecified;
+// callers overwrite every element.
+func recycled(s []Received, n int, live *int) []Received {
+	if cap(s) < n {
+		s = make([]Received, n)
+	} else {
+		if n < *live {
+			clear(s[n:*live])
+		}
+		s = s[:n]
+	}
+	*live = n
+	return s
 }
 
 // grown returns s resized to n elements, reusing its backing array when

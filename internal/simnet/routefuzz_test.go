@@ -138,8 +138,8 @@ func referenceRoute(c routeCase) (inboxes [][]Received, deliveries, bytes int64)
 
 // routeOnNetwork builds a network for the case, forces the requested
 // worker count (0 = sequential single-shard), routes a copy of the
-// batch, and returns the resulting inboxes and tallies.
-func routeOnNetwork(t testing.TB, c routeCase, workers int) (inboxes [][]Received, deliveries, bytes int64) {
+// batch, and returns the resulting inbox views and tallies.
+func routeOnNetwork(t testing.TB, c routeCase, workers int) (inboxes []Inbox, deliveries, bytes int64) {
 	t.Helper()
 	net := New(Config{})
 	if workers > 0 {
@@ -156,13 +156,19 @@ func routeOnNetwork(t testing.TB, c routeCase, workers int) (inboxes [][]Receive
 	}
 	outs := append([]send(nil), c.outs...)
 	deliveries, bytes = net.route(outs)
-	inboxes = make([][]Received, len(c.nodeIDs))
+	inboxes = make([]Inbox, len(c.nodeIDs))
 	for i := range c.nodeIDs {
 		inboxes[i] = net.live[i].inbox
 	}
 	return inboxes, deliveries, bytes
 }
 
+// checkRouteCase routes the case through the engine and compares the
+// lazy inbox views against the fully-materialized reference on every
+// access path a Process can use: Len, iteration order through All,
+// random access through At (every position), and the Slice copy-out.
+// Tallies must match too — the engine computes them arithmetically from
+// the shared block, the reference by walking every delivery.
 func checkRouteCase(t testing.TB, c routeCase, workers int) {
 	t.Helper()
 	wantInboxes, wantDeliveries, wantBytes := referenceRoute(c)
@@ -171,25 +177,44 @@ func checkRouteCase(t testing.TB, c routeCase, workers int) {
 		t.Fatalf("workers=%d: tallies (%d, %d), reference (%d, %d)\ncase: %+v",
 			workers, gotDeliveries, gotBytes, wantDeliveries, wantBytes, c)
 	}
+	sameReceived := func(got, want Received) bool {
+		return got.From == want.From && got.encoded == want.encoded &&
+			reflect.DeepEqual(got.Payload, want.Payload)
+	}
 	for i := range c.nodeIDs {
-		got, want := gotInboxes[i], wantInboxes[i]
-		if len(got) != len(want) {
-			t.Fatalf("workers=%d receiver %v: %d messages, reference %d\ngot:  %+v\nwant: %+v\ncase: %+v",
-				workers, c.nodeIDs[i], len(got), len(want), got, want, c)
+		view, want := gotInboxes[i], wantInboxes[i]
+		if view.Len() != len(want) {
+			t.Fatalf("workers=%d receiver %v: Len() = %d, reference %d\nwant: %+v\ncase: %+v",
+				workers, c.nodeIDs[i], view.Len(), len(want), want, c)
 		}
-		for j := range got {
-			if got[j].From != want[j].From || got[j].encoded != want[j].encoded ||
-				!reflect.DeepEqual(got[j].Payload, want[j].Payload) {
-				t.Fatalf("workers=%d receiver %v message %d: %+v, reference %+v\ncase: %+v",
-					workers, c.nodeIDs[i], j, got[j], want[j], c)
+		j := 0
+		for got := range view.All() {
+			if !sameReceived(got, want[j]) {
+				t.Fatalf("workers=%d receiver %v All() message %d: %+v, reference %+v\ncase: %+v",
+					workers, c.nodeIDs[i], j, got, want[j], c)
+			}
+			j++
+		}
+		if j != len(want) {
+			t.Fatalf("workers=%d receiver %v: All() yielded %d messages, reference %d",
+				workers, c.nodeIDs[i], j, len(want))
+		}
+		for j := range want {
+			if got := view.At(j); !sameReceived(got, want[j]) {
+				t.Fatalf("workers=%d receiver %v At(%d): %+v, reference %+v\ncase: %+v",
+					workers, c.nodeIDs[i], j, got, want[j], c)
 			}
 		}
-		// The arena hands every receiver an exactly-sized segment;
-		// growth would mean the sizing pass and the delivery pass
-		// disagree.
-		if len(got) != cap(got) {
-			t.Fatalf("workers=%d receiver %v: inbox len %d != cap %d (arena segment resized)",
-				workers, c.nodeIDs[i], len(got), cap(got))
+		if got := view.Slice(); len(got) != len(want) {
+			t.Fatalf("workers=%d receiver %v: Slice() has %d messages, reference %d",
+				workers, c.nodeIDs[i], len(got), len(want))
+		}
+		// The unicast side hands every receiver an exactly-sized
+		// segment; growth would mean the bucketing pass and the
+		// delivery pass disagree.
+		if len(view.uni) != cap(view.uni) {
+			t.Fatalf("workers=%d receiver %v: unicast segment len %d != cap %d (segment resized)",
+				workers, c.nodeIDs[i], len(view.uni), cap(view.uni))
 		}
 	}
 }

@@ -50,7 +50,6 @@ type poolTask struct {
 	phase poolPhase
 	live  []*procState // step phase
 	res   []stepResult // step phase
-	outs  []send       // route phase
 }
 
 // startPool spawns the worker pool and arranges for its goroutines to be
@@ -114,7 +113,7 @@ func (p *workerPool) work() {
 				if s >= len(shards) {
 					break
 				}
-				t.net.routeShardDeliver(&shards[s], t.outs)
+				t.net.routeShardDeliver(&shards[s])
 			}
 		}
 		p.wg.Done()
@@ -146,8 +145,8 @@ func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
 // runRoute delivers every shard in n.shards on the pool and returns
 // once all inboxes, tallies and event buffers are written (the route
 // barrier).
-func (p *workerPool) runRoute(n *Network, outs []send) {
-	p.dispatch(poolTask{net: n, phase: phaseRoute, outs: outs})
+func (p *workerPool) runRoute(n *Network) {
+	p.dispatch(poolTask{net: n, phase: phaseRoute})
 }
 
 // stop terminates the workers. Idempotence is the caller's concern
