@@ -14,16 +14,17 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: the repo's own go/analysis suite (cmd/ubalint) run
-# over every package via go vet's -vettool protocol. The four passes —
-# retainenv, determinism, sharedstate, wirereg — enforce the simnet
-# engine and wire-registration contracts, fed by the interprocedural
-# summary fact pass; see DESIGN.md "Static analysis" and internal/lint.
+# over every package via go vet's -vettool protocol. The six passes —
+# retainenv, determinism, sharedstate, wirereg, complexity, shardsafe —
+# enforce the simnet engine, wire-registration, message-complexity, and
+# shard-ownership contracts, fed by the interprocedural summary fact
+# pass; see DESIGN.md "Static analysis" and internal/lint.
 # Suppress a false positive in-source with: //lint:allow <pass> <reason>
 #
 # bin/ubalint is a real make target: it rebuilds only when the linter's
-# sources (cmd/ubalint, internal/lint, the vendored x/tools) change, so
-# repeated `make lint` runs skip the build.
-LINT_SRCS := $(shell find cmd/ubalint internal/lint vendor/golang.org/x/tools -name '*.go' -not -path '*/testdata/*') go.mod
+# sources (cmd/ubalint, internal/lint, internal/complexity, the
+# vendored x/tools) change, so repeated `make lint` runs skip the build.
+LINT_SRCS := $(shell find cmd/ubalint internal/lint internal/complexity vendor/golang.org/x/tools -name '*.go' -not -path '*/testdata/*') go.mod
 
 bin/ubalint: $(LINT_SRCS)
 	$(GO) build -o $@ ./cmd/ubalint

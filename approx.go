@@ -40,7 +40,7 @@ func ApproximateAgreement(cfg Config, inputs []float64) (*ApproxResult, error) {
 	if len(inputs) != cfg.Correct {
 		return nil, fmt.Errorf("uba: %d inputs for %d correct nodes", len(inputs), cfg.Correct)
 	}
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "approx")
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func IteratedApproximateAgreement(cfg Config, inputs []float64, rounds int) (*It
 	if rounds <= 0 {
 		rounds = 8
 	}
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "approx")
 	if err != nil {
 		return nil, err
 	}

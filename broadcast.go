@@ -37,7 +37,7 @@ func ReliableBroadcast(cfg Config, body []byte, horizon int) (*BroadcastResult, 
 	if horizon <= 0 {
 		horizon = 12
 	}
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "relbcast")
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +81,9 @@ func ReliableBroadcast(cfg Config, body []byte, horizon int) (*BroadcastResult, 
 			return nil, fmt.Errorf("reliable broadcast round: %w", err)
 		}
 	}
+	if err := cl.complexityErr(); err != nil {
+		return nil, err
+	}
 	res := &BroadcastResult{
 		AcceptRounds: make([]int, len(nodes)),
 		AllAccepted:  true,
@@ -119,7 +122,7 @@ type TRBResult struct {
 // Byzantine node plays the source (silent under AdversarySilent,
 // equivocating two bodies under AdversarySplit).
 func TerminatingBroadcast(cfg Config, body []byte, sourceCorrect bool) (*TRBResult, error) {
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "trb")
 	if err != nil {
 		return nil, err
 	}

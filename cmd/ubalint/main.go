@@ -1,8 +1,8 @@
 // ubalint is the repo's static-analysis gate: a go/analysis
-// multichecker running the four custom passes that enforce the simnet
+// multichecker running the seven custom passes that enforce the simnet
 // engine and wire contracts (retainenv, determinism, sharedstate,
-// wirereg — see internal/lint and DESIGN.md "Static analysis"), fed by
-// the interprocedural summary fact pass they all require.
+// wirereg, complexity, shardsafe, plus the interprocedural summary
+// fact pass — see internal/lint and DESIGN.md "Static analysis").
 //
 // It speaks the unitchecker protocol, so it is driven through go vet,
 // which handles package loading, export data, and ./... expansion:
@@ -16,14 +16,52 @@
 //
 // False positives are suppressed in-source with
 // //lint:allow <pass> <reason> (the reason is mandatory).
+//
+// A second mode serves the runtime half of the complexity
+// certification:
+//
+//	ubalint -complexity-dump [root]
+//
+// scans the tree under root (default ".") for //lint:complexity
+// directives and prints the certified contract table as JSON — the
+// same table internal/complexity.Registry pins and the runtime oracle
+// enforces.
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"uba/internal/complexity"
 	"uba/internal/lint"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-complexity-dump" {
+		root := "."
+		if len(os.Args) > 2 {
+			root = os.Args[2]
+		}
+		if err := dumpComplexity(root, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ubalint:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	unitchecker.Main(lint.Analyzers()...)
+}
+
+// dumpComplexity emits the scanned //lint:complexity directive table
+// as indented JSON, sorted by (family, type).
+func dumpComplexity(root string, w *os.File) error {
+	dirs, err := complexity.Scan(root)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dirs)
 }

@@ -38,7 +38,7 @@ func Consensus(cfg Config, inputs []float64) (*ConsensusResult, error) {
 	if len(inputs) != cfg.Correct {
 		return nil, fmt.Errorf("uba: %d inputs for %d correct nodes", len(inputs), cfg.Correct)
 	}
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "consensus")
 	if err != nil {
 		return nil, err
 	}

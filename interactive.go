@@ -51,7 +51,7 @@ func InteractiveConsistency(cfg Config, inputs []float64) (*VectorResult, error)
 	if len(inputs) != cfg.Correct {
 		return nil, fmt.Errorf("uba: %d inputs for %d correct nodes", len(inputs), cfg.Correct)
 	}
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "vector")
 	if err != nil {
 		return nil, err
 	}

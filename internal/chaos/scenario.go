@@ -91,6 +91,14 @@ func Run(s Scenario) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every stock arena also runs under its family's certified
+	// complexity contract: the runtime half of the static certification
+	// (twin arenas run planted-bug protocols with no contract).
+	if fam := complexityFamily(s); fam != "" {
+		if co := oracle.NewComplexityFor(fam, 0); co != nil {
+			fix.suite.Add(co)
+		}
+	}
 	net := simnet.New(simnet.Config{MaxRounds: s.MaxRounds + 1, Observer: fix.suite})
 	for _, p := range fix.procs {
 		if err := net.Add(p); err != nil {
@@ -114,6 +122,30 @@ func Run(s Scenario) (*Outcome, error) {
 		rounds++
 	}
 	return &Outcome{Rounds: rounds, Violations: fix.suite.Violations()}, nil
+}
+
+// complexityFamily maps an arena to the certified-contract registry
+// family its correct nodes implement, or "" for twin scenarios (their
+// planted-bug protocols carry no contract).
+func complexityFamily(s Scenario) string {
+	if s.Twin != "" {
+		return ""
+	}
+	switch s.Arena {
+	case ArenaConsensus:
+		return "consensus"
+	case ArenaBroadcast:
+		return "relbcast"
+	case ArenaRotor:
+		return "rotor"
+	case ArenaApprox:
+		return "approx"
+	case ArenaRenaming:
+		return "renaming"
+	case ArenaOrdering:
+		return "ordering"
+	}
+	return ""
 }
 
 // buildArena constructs the correct processes and oracles for the

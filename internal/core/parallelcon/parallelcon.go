@@ -119,6 +119,8 @@ func newInstance(id uint64, x wire.Value) *instance {
 }
 
 // Node is one correct parallel-consensus participant.
+//
+//lint:complexity broadcasts=O(n) unicasts=0
 type Node struct {
 	id   ids.ID
 	opts Options

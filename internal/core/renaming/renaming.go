@@ -26,6 +26,8 @@ import (
 )
 
 // Node is one correct renaming participant.
+//
+//lint:complexity broadcasts=O(n) unicasts=0
 type Node struct {
 	id  ids.ID
 	cen census.Census

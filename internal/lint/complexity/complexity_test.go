@@ -1,0 +1,22 @@
+package complexity_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/complexity"
+	"uba/internal/lint/linttest"
+)
+
+// TestConform runs the certifier over contracts that match their Step
+// implementations exactly: zero diagnostics.
+func TestConform(t *testing.T) {
+	linttest.Run(t, "testdata", complexity.Analyzer, "conform")
+}
+
+// TestViolate pins every failure mode: helper-laundered sends
+// exceeding the declaration, loop-nesting misclassification, hidden
+// unicasts, an over-loose declaration, a directive without a Step,
+// a malformed directive, and the suppression path.
+func TestViolate(t *testing.T) {
+	linttest.Run(t, "testdata", complexity.Analyzer, "violate")
+}

@@ -1,26 +1,35 @@
 // Package lint assembles the ubalint analyzer suite: the custom
 // go/analysis passes that mechanically enforce the simulator's
-// determinism and buffer-recycling contracts (see DESIGN.md "Static
-// analysis" for what each pass proves and its known edges).
+// determinism, buffer-recycling, message-complexity, and
+// shard-isolation contracts (see DESIGN.md "Static analysis" for what
+// each pass proves and its known edges).
 package lint
 
 import (
+	"uba/internal/lint/complexity"
 	"uba/internal/lint/determinism"
 	"uba/internal/lint/retainenv"
 	"uba/internal/lint/sharedstate"
+	"uba/internal/lint/shardsafe"
+	"uba/internal/lint/summary"
 	"uba/internal/lint/wirereg"
 
 	"golang.org/x/tools/go/analysis"
 )
 
 // Analyzers returns the full ubalint suite in a fixed order. The
-// summary fact pass is not listed: it reports nothing on its own and
-// runs implicitly as a requirement of the diagnostic passes.
+// summary fact pass is listed even though it exists primarily for its
+// facts: as a root analyzer its directive-policing diagnostics (unused
+// //lint:commutative / //lint:valuecopy) are printed rather than
+// swallowed by the driver.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		retainenv.Analyzer,
 		determinism.Analyzer,
 		sharedstate.Analyzer,
 		wirereg.Analyzer,
+		complexity.Analyzer,
+		shardsafe.Analyzer,
+		summary.Analyzer,
 	}
 }

@@ -1,0 +1,23 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/linttest"
+	"uba/internal/lint/shardsafe"
+)
+
+// TestOK runs the prover over task bodies whose every write is owned,
+// blessed, or worker-private: zero diagnostics.
+func TestOK(t *testing.T) {
+	linttest.Run(t, "testdata", shardsafe.Analyzer, "shardok")
+}
+
+// TestViolations pins every escape: writes through the receiver and
+// package state, laundered global writes, mutating calls and builtins
+// on foreign memory, goroutine launches, channel sends, aliased and
+// unblessed shard buffers, a tarnished blessing, and both directive
+// shape errors.
+func TestViolations(t *testing.T) {
+	linttest.Run(t, "testdata", shardsafe.Analyzer, "shardbad")
+}

@@ -1,0 +1,89 @@
+// Package shardbad holds the planted shard-safety violations: each
+// want pins one way a task body can escape its shard.
+package shardbad
+
+var audit []int
+
+type cell struct{ val int }
+
+type shard struct {
+	lo, hi int
+	out    []int
+}
+
+type pool struct {
+	data  []int
+	cells []*cell
+	last  *cell
+	done  chan int
+}
+
+// poison is the laundered global write: calling it is as bad as the
+// assignment itself.
+func poison() {
+	audit = nil
+}
+
+// bump mutates its argument.
+func bump(xs []int) {
+	for i := range xs {
+		xs[i]++
+	}
+}
+
+// crossWrite escapes through the receiver, package state, a laundering
+// call, and a goroutine.
+//
+//lint:shardsafe owns=sh fixture: every escape in one body
+func (p *pool) crossWrite(sh *shard) {
+	p.last.val = sh.lo            // want `crossWrite writes through parameter p, which is not the owned shard`
+	audit = append(audit, sh.lo)  // want `crossWrite writes package-level state through audit`
+	poison()                      // want `crossWrite calls poison, which writes package-level state`
+	bump(p.data)                  // want `crossWrite mutates \(via bump\) through parameter p, which is not the owned shard`
+	clear(p.data)                 // want `crossWrite mutates \(via clear\) through parameter p, which is not the owned shard`
+	go func() { sh.out[0] = 1 }() // want `crossWrite starts a goroutine: the shard task must stay single-threaded`
+	p.done <- 1                   // want `crossWrite sends on a channel: the shard task must stay synchronization-free`
+}
+
+// aliased writes through a local that aliases another task's shard —
+// the aliased-buffer escape the taint rule exists for.
+//
+//lint:shardsafe owns=sh fixture: aliased shard buffer
+func (p *pool) aliased(sh *shard, other *shard) {
+	buf := other.out
+	buf[0] = 1 // want `aliased writes through buf, which may alias state outside the owned shard`
+	sh.out[0] = buf[0]
+}
+
+// unblessed indexes the shared slice with a loop not bounded by the
+// owned shard on both ends: the local keeps its receiver taint.
+//
+//lint:shardsafe owns=sh fixture: unbounded index is not blessed
+func (p *pool) unblessed(sh *shard) {
+	for i := 0; i < sh.hi; i++ {
+		c := p.cells[i]
+		c.val = 1 // want `unblessed writes through c, which may alias state outside the owned shard`
+	}
+}
+
+// tarnished blesses st and then reassigns it from an unblessed source:
+// the blessing must not survive.
+//
+//lint:shardsafe owns=sh fixture: reassignment removes the blessing
+func (p *pool) tarnished(sh *shard) {
+	for i := sh.lo; i < sh.hi; i++ {
+		st := p.cells[i]
+		st = p.last
+		st.val = 1 // want `tarnished writes through st, which may alias state outside the owned shard`
+	}
+}
+
+// noOwner lacks the owns= key.
+//
+//lint:shardsafe fixture reason without an owner
+func (p *pool) noOwner(sh *shard) {} // want `malformed //lint:shardsafe directive on noOwner: want owns=<param> <reason>`
+
+// unknown names a parameter that does not exist.
+//
+//lint:shardsafe owns=zz fixture: no such parameter
+func (p *pool) unknown(sh *shard) {} // want `//lint:shardsafe directive on unknown: owns=zz does not name a reference-carrying parameter`

@@ -1,0 +1,57 @@
+// Package shardok holds task bodies the shard-safety prover accepts:
+// every write lands in owned, blessed, or worker-private memory.
+package shardok
+
+type cell struct{ val, hits int }
+
+type shard struct {
+	lo, hi int
+	out    []int
+	sum    int64
+}
+
+type pool struct {
+	data   []int
+	cells  []*cell
+	shards []shard
+}
+
+// deliver mirrors the real route phase: a shard-bounded loop blesses
+// the per-receiver local, shared reads feed owned tallies, and the
+// results land back in the owned shard struct.
+//
+//lint:shardsafe owns=sh the loop range [sh.lo, sh.hi) partitions the receivers
+func (p *pool) deliver(sh *shard) {
+	var acc int64
+	for i := sh.lo; i < sh.hi; i++ {
+		c := p.cells[i] // blessed: index bounded by the owned shard
+		c.val = p.data[i]
+		c.hits++
+		acc += int64(c.val)
+		sh.out = append(sh.out, c.val)
+	}
+	sh.sum = acc
+}
+
+// bump mutates its argument; summary records the Mutates slot.
+func bump(xs []int) {
+	for i := range xs {
+		xs[i]++
+	}
+}
+
+// scale shows the call fold accepting owned and worker-private
+// arguments, plus the mutating builtins on both.
+//
+//lint:shardsafe owns=sh helper mutation lands in owned or private memory
+func (p *pool) scale(sh *shard) {
+	bump(sh.out)
+	tmp := make([]int, 4)
+	tmp[0] = len(p.data)
+	bump(tmp)
+	clear(tmp)
+	copy(sh.out, tmp)
+	for _, v := range sh.out {
+		sh.sum += int64(v)
+	}
+}

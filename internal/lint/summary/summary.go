@@ -69,6 +69,56 @@ import (
 // bit, which is conservative but keeps the fact a fixed-size word.
 const MaxTracked = 32
 
+// Send classes order the per-call message-complexity lattice used by
+// the Broadcasts/Unicasts/ParamCalls facts: how many sends (or
+// invocations) one call of the function performs, as a function of the
+// participant count n. SendQuad is the top: anything at or above O(n²)
+// collapses onto it.
+const (
+	SendNone  uint8 = iota // no sends on any path
+	SendConst              // O(1): a bounded number of sends
+	SendLinear             // O(n): sends inside one participant-indexed loop
+	SendQuad               // O(n²) or worse
+)
+
+// ClassJoin is the lattice join (max): the class of two alternative
+// paths through a function.
+func ClassJoin(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ClassMul composes classes multiplicatively: a send of class b
+// executed from a context of class a (a loop body, an amplified
+// callee) lands at a+b-1 capped at SendQuad; anything times SendNone
+// is SendNone. ClassMul(SendConst, x) == x.
+func ClassMul(a, b uint8) uint8 {
+	if a == SendNone || b == SendNone {
+		return SendNone
+	}
+	if c := a + b - 1; c < SendQuad {
+		return c
+	}
+	return SendQuad
+}
+
+// ClassString renders a send class the way the //lint:complexity
+// directive spells it.
+func ClassString(c uint8) string {
+	switch c {
+	case SendNone:
+		return "0"
+	case SendConst:
+		return "O(1)"
+	case SendLinear:
+		return "O(n)"
+	default:
+		return "O(n^2)"
+	}
+}
+
 // FuncSummary is the exported fact: the externally observable effects
 // of one function. The zero value means "no observable effects" and is
 // never exported (absence of a fact is the common case).
@@ -77,6 +127,24 @@ type FuncSummary struct {
 	Flows          uint32
 	WritesGlobal   bool
 	OrderSensitive bool
+
+	// Broadcasts and Unicasts are send classes (SendNone..SendQuad):
+	// how many env.Broadcast / env.Send calls one invocation performs,
+	// including sends delegated to callees and to function-typed
+	// arguments the callee invokes.
+	Broadcasts uint8
+	Unicasts   uint8
+	// ParamCalls packs, two bits per tracked slot, the send class of
+	// how often the function invokes a function-typed parameter bound
+	// to that slot — the helper-mediated-send channel: a caller passing
+	// env.Broadcast into a slot of class SendLinear performs O(n)
+	// broadcasts.
+	ParamCalls uint64
+	// Mutates is a bitmask over the tracked slots whose reachable
+	// memory the function may write through — a field store, an element
+	// store, a clear/delete/copy, or a callee that does the same to an
+	// argument aliasing the slot. Consumed by the shardsafe pass.
+	Mutates uint32
 }
 
 // AFact marks FuncSummary as an analysis fact.
@@ -96,6 +164,24 @@ func (s *FuncSummary) String() string {
 	if s.OrderSensitive {
 		parts = append(parts, "ordersensitive")
 	}
+	if s.Broadcasts != SendNone {
+		parts = append(parts, "bcast("+ClassString(s.Broadcasts)+")")
+	}
+	if s.Unicasts != SendNone {
+		parts = append(parts, "uni("+ClassString(s.Unicasts)+")")
+	}
+	if s.ParamCalls != 0 {
+		var cs []string
+		for i := 0; i < MaxTracked; i++ {
+			if c := s.ParamCallsAt(i); c != SendNone {
+				cs = append(cs, fmt.Sprintf("%d:%s", i, ClassString(c)))
+			}
+		}
+		parts = append(parts, "calls("+strings.Join(cs, ",")+")")
+	}
+	if s.Mutates != 0 {
+		parts = append(parts, fmt.Sprintf("mutates(%b)", s.Mutates))
+	}
 	if len(parts) == 0 {
 		return "pure"
 	}
@@ -103,7 +189,8 @@ func (s *FuncSummary) String() string {
 }
 
 func (s FuncSummary) isZero() bool {
-	return s.Retains == 0 && s.Flows == 0 && !s.WritesGlobal && !s.OrderSensitive
+	return s.Retains == 0 && s.Flows == 0 && !s.WritesGlobal && !s.OrderSensitive &&
+		s.Broadcasts == SendNone && s.Unicasts == SendNone && s.ParamCalls == 0 && s.Mutates == 0
 }
 
 // RetainsAt and FlowsAt test one tracked slot (see ArgIndex/RecvIndex).
@@ -111,6 +198,30 @@ func (s FuncSummary) RetainsAt(i int) bool { return s.Retains&(1<<uint(i)) != 0 
 
 // FlowsAt reports whether tracked slot i may alias a return value.
 func (s FuncSummary) FlowsAt(i int) bool { return s.Flows&(1<<uint(i)) != 0 }
+
+// MutatesAt reports whether the function may write through tracked
+// slot i's reachable memory.
+func (s FuncSummary) MutatesAt(i int) bool { return s.Mutates&(1<<uint(i)) != 0 }
+
+// ParamCallsAt returns the send class of how often the function
+// invokes a function value bound to tracked slot i.
+func (s FuncSummary) ParamCallsAt(i int) uint8 {
+	if i < 0 || i >= MaxTracked {
+		return SendNone
+	}
+	return uint8(s.ParamCalls>>(2*uint(i))) & 3
+}
+
+// joinParamCall raises slot i's invocation class to at least c.
+//
+//lint:commutative lattice join: the packed per-slot max is identical under any call order
+func (s *FuncSummary) joinParamCall(i int, c uint8) {
+	if i < 0 || i >= MaxTracked || c <= s.ParamCallsAt(i) {
+		return
+	}
+	shift := 2 * uint(i)
+	s.ParamCalls = s.ParamCalls&^(3<<shift) | uint64(c)<<shift
+}
 
 // RecvIndex is the tracked slot of a method's receiver.
 const RecvIndex = 0
@@ -143,11 +254,16 @@ func ArgIndex(fn *types.Func, i int) (int, bool) {
 	return idx, true
 }
 
-// Analyzer is the summary pass. It reports no diagnostics; it exists
-// for its facts and its Result.
+// Analyzer is the summary pass. It exists primarily for its facts and
+// its Result; its only diagnostics police the fact-adjusting
+// directives themselves — a //lint:commutative or //lint:valuecopy
+// whose function's raw summary never had the effect the directive
+// clears is reported as unused (parity with Suppressor.Done for
+// //lint:allow), and a directive missing its reason is reported as
+// inert.
 var Analyzer = &analysis.Analyzer{
 	Name:       "summary",
-	Doc:        "compute per-function retention, flow, global-write, and order-sensitivity facts for the ubalint passes",
+	Doc:        "compute per-function retention, flow, global-write, order-sensitivity, and send-class facts for the ubalint passes; report unused fact directives",
 	Run:        run,
 	FactTypes:  []analysis.Fact{(*FuncSummary)(nil)},
 	ResultType: reflect.TypeOf((*Result)(nil)),
@@ -200,7 +316,7 @@ func run(pass *analysis.Pass) (any, error) {
 	// Collect every function declaration with a body, noting which carry
 	// a //lint:commutative or //lint:valuecopy directive.
 	decls := make(map[*types.Func]*ast.FuncDecl)
-	commutative := make(map[*types.Func]bool)
+	commutative := make(map[*types.Func]bool) // present = directive; value = has a reason
 	valuecopy := make(map[*types.Func]bool)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
@@ -214,8 +330,12 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			decls[fn] = fd
 			res.local[fn] = FuncSummary{}
-			commutative[fn] = directive(fd, "//lint:commutative")
-			valuecopy[fn] = directive(fd, "//lint:valuecopy")
+			if reasoned, ok := directive(fd, "//lint:commutative"); ok {
+				commutative[fn] = reasoned
+			}
+			if reasoned, ok := directive(fd, "//lint:valuecopy"); ok {
+				valuecopy[fn] = reasoned
+			}
 		}
 	}
 
@@ -240,6 +360,36 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 		}
 	}
+
+	// Police the directives: one that adjusts nothing is stale and
+	// hides a future real effect behind an assertion nobody re-checks.
+	// The raw summary is recomputed against the directive-adjusted
+	// environment, so "unused" means "given everything else, this
+	// directive changes nothing".
+	sup := lintutil.NewSuppressor(pass, "summary")
+	for fn, fd := range decls {
+		// Diagnostics anchor at the function name (the directive lives in
+		// its doc comment), so a //lint:allow on the declaration line or
+		// the doc comment's last line suppresses them.
+		report := func(reasoned bool, name, effect string) {
+			if !reasoned {
+				sup.Reportf(fd.Name.Pos(), "%s directive on %s is inert: no reason given", name, fn.Name())
+				return
+			}
+			raw := analyzeFunc(pass, res, fn, fd)
+			if (name == "//lint:commutative" && !raw.OrderSensitive) ||
+				(name == "//lint:valuecopy" && raw.Flows == 0) {
+				sup.Reportf(fd.Name.Pos(), "unused %s directive: %s is not %s", name, fn.Name(), effect)
+			}
+		}
+		if reasoned, ok := commutative[fn]; ok {
+			report(reasoned, "//lint:commutative", "order-sensitive")
+		}
+		if reasoned, ok := valuecopy[fn]; ok {
+			report(reasoned, "//lint:valuecopy", "flowing any parameter to a return value")
+		}
+	}
+	sup.Done()
 
 	// Export non-trivial summaries so downstream packages see them.
 	for fn, s := range res.local {
@@ -282,18 +432,20 @@ func inGOROOT(pass *analysis.Pass) bool {
 //
 // Retention and global-write facts are never cleared. Like the fold
 // carve-outs, directives are a documented trust boundary: the analysis
-// takes the author's word. A directive with no reason is inert.
-func directive(fd *ast.FuncDecl, name string) bool {
+// takes the author's word. A directive with no reason is inert (and
+// reported as such). found reports the directive's presence, reasoned
+// whether it carries the reason that makes it effective.
+func directive(fd *ast.FuncDecl, name string) (reasoned, found bool) {
 	if fd.Doc == nil {
-		return false
+		return false, false
 	}
 	for _, c := range fd.Doc.List {
 		rest, ok := strings.CutPrefix(c.Text, name)
-		if ok && len(strings.Fields(rest)) > 0 {
-			return true
+		if ok {
+			return len(strings.Fields(rest)) > 0, true
 		}
 	}
-	return false
+	return false, false
 }
 
 // funcState is the per-function analysis state.
@@ -314,7 +466,42 @@ type funcState struct {
 	out          FuncSummary
 }
 
+// Taint re-runs fd's local alias analysis to a fixpoint and returns
+// the taint mask of every tracked object (the parameter slots whose
+// memory it may alias) plus each reference-carrying parameter's slot.
+// The shardsafe pass consumes it to classify write roots. It is a
+// recomputation, not a cache: call it once per directive-carrying
+// function, not per node.
+func (r *Result) Taint(fd *ast.FuncDecl) (taint map[types.Object]uint32, slots map[types.Object]int) {
+	st := newFuncState(r.pass, r, fd)
+	st.propagate()
+	return st.taint, st.paramSlot
+}
+
 func analyzeFunc(pass *analysis.Pass, res *Result, fn *types.Func, fd *ast.FuncDecl) FuncSummary {
+	st := newFuncState(pass, res, fd)
+
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					st.namedResults = append(st.namedResults, obj)
+				}
+			}
+		}
+	}
+
+	st.propagate()
+	st.findSinks()
+	st.sendScan()
+	return st.out
+}
+
+// newFuncState builds the per-function state with parameter slots
+// seeded: receiver first, then parameters, skipping slots (but not
+// positions) for values that cannot carry references — retaining a
+// copied int is not retention of caller memory.
+func newFuncState(pass *analysis.Pass, res *Result, fd *ast.FuncDecl) *funcState {
 	st := &funcState{
 		pass:          pass,
 		res:           res,
@@ -324,9 +511,6 @@ func analyzeFunc(pass *analysis.Pass, res *Result, fn *types.Func, fd *ast.FuncD
 		globalAliases: lintutil.GlobalAliases(pass.TypesInfo, fd.Body),
 	}
 
-	// Seed parameter slots: receiver first, then parameters, skipping
-	// slots (but not positions) for values that cannot carry references
-	// — retaining a copied int is not retention of caller memory.
 	slot := 0
 	seed := func(fl *ast.FieldList) {
 		if fl == nil {
@@ -350,20 +534,7 @@ func analyzeFunc(pass *analysis.Pass, res *Result, fn *types.Func, fd *ast.FuncD
 	}
 	seed(fd.Recv)
 	seed(fd.Type.Params)
-
-	if fd.Type.Results != nil {
-		for _, field := range fd.Type.Results.List {
-			for _, name := range field.Names {
-				if obj := pass.TypesInfo.Defs[name]; obj != nil {
-					st.namedResults = append(st.namedResults, obj)
-				}
-			}
-		}
-	}
-
-	st.propagate()
-	st.findSinks()
-	return st.out
+	return st
 }
 
 // propagate grows the taint map to a fixpoint: locals assigned from a
@@ -406,6 +577,24 @@ func (st *funcState) propagate() {
 						if st.assignTaint(name, m) {
 							changed = true
 						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Range iteration variables alias the ranged
+				// expression's memory: a reference-carrying element of
+				// a tainted container (or a tainted iterator's yield)
+				// carries its taint. Non-reference variables — the int
+				// index of a slice — sever it, as in taintOf.
+				m := st.taintOf(n.X)
+				for _, v := range []ast.Expr{n.Key, n.Value} {
+					if m == 0 || v == nil {
+						continue
+					}
+					if t := st.pass.TypesInfo.TypeOf(v); t == nil || !lintutil.RefCarrying(t) {
+						continue
+					}
+					if st.assignTaint(v, m) {
+						changed = true
 					}
 				}
 			}
@@ -631,6 +820,7 @@ func (st *funcState) findSinks() {
 			if st.isGlobalWrite(n.X) {
 				st.out.WritesGlobal = true
 			}
+			st.out.Mutates |= st.mutationMask(n.X)
 		case *ast.SendStmt:
 			// A send on a channel reachable by our callers (through a
 			// parameter or a global) is an order-observable effect; a
@@ -639,6 +829,7 @@ func (st *funcState) findSinks() {
 				st.out.OrderSensitive = true
 			}
 			st.out.Retains |= st.taintOf(n.Value)
+			st.out.Mutates |= st.taintOf(n.Chan)
 		case *ast.GoStmt:
 			st.out.Retains |= st.goTaint(n)
 		case *ast.ReturnStmt:
@@ -734,6 +925,7 @@ func (st *funcState) sinkAssign(n *ast.AssignStmt, stack []ast.Node) {
 		if n.Tok != token.DEFINE && st.isGlobalWrite(lhs) {
 			st.out.WritesGlobal = true
 		}
+		st.out.Mutates |= st.mutationMask(lhs)
 
 		// Escape of a tainted value.
 		var m uint32
@@ -902,6 +1094,18 @@ func foldGuard(lhs, rhs ast.Expr, stack []ast.Node) bool {
 // a local born in this function, in which case the effect cannot be
 // observed by our callers through that call.
 func (st *funcState) sinkCall(call *ast.CallExpr) {
+	// Mutating builtins write through their first argument's memory.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := st.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "clear", "delete", "copy":
+				if len(call.Args) > 0 {
+					st.out.Mutates |= st.taintOf(call.Args[0])
+				}
+			}
+			return
+		}
+	}
 	callee := Callee(st.pass.TypesInfo, call)
 	if callee == nil {
 		return
@@ -909,6 +1113,16 @@ func (st *funcState) sinkCall(call *ast.CallExpr) {
 	s := st.res.Of(callee)
 	if s.isZero() {
 		return
+	}
+	if s.Mutates != 0 {
+		if recv := receiverExpr(call); recv != nil && s.MutatesAt(RecvIndex) {
+			st.out.Mutates |= st.taintOf(recv)
+		}
+		for i, arg := range call.Args {
+			if idx, ok := ArgIndex(callee, i); ok && s.MutatesAt(idx) {
+				st.out.Mutates |= st.taintOf(arg)
+			}
+		}
 	}
 	if s.WritesGlobal {
 		st.out.WritesGlobal = true
@@ -927,6 +1141,30 @@ func (st *funcState) sinkCall(call *ast.CallExpr) {
 			}
 		}
 	}
+}
+
+// mutationMask returns the tracked slots whose reachable memory the
+// assignment target lhs writes through: a non-plain path rooted at a
+// parameter writes that slot; one rooted at a local writes every slot
+// the local may alias. Rebinding a variable (plain identifier) is not
+// a mutation of anything a caller can see.
+func (st *funcState) mutationMask(lhs ast.Expr) uint32 {
+	lhs = ast.Unparen(lhs)
+	if _, plain := lhs.(*ast.Ident); plain {
+		return 0
+	}
+	root := lintutil.RootIdent(lhs)
+	if root == nil {
+		return 0
+	}
+	obj := st.pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return 0
+	}
+	if slot, ok := st.paramSlot[obj]; ok {
+		return 1 << uint(slot)
+	}
+	return st.taint[obj]
 }
 
 // localReceiver reports whether call is a method call whose receiver
@@ -955,4 +1193,279 @@ func (st *funcState) localReceiver(call *ast.CallExpr) bool {
 	// A local that aliases a parameter still reaches caller memory.
 	return st.taint[obj] == 0 &&
 		v.Pos() >= st.fd.Body.Pos() && v.Pos() <= st.fd.Body.End()
+}
+
+// ---- Send-class scanning ------------------------------------------------
+//
+// sendScan derives the Broadcasts/Unicasts/ParamCalls facts by walking
+// the body with an execution-class context: statements at the top level
+// execute once per call (SendConst); entering a loop whose trip count
+// is not provably constant multiplies the context by SendLinear (the
+// conservative rule — inbox iteration, ids.Set ranges, and n-sized
+// slices all look identical to a loop over any other slice, and a
+// collection's element type says nothing about its length). Send sites
+// contribute their context class; calls fold the callee's own classes
+// amplified by the context, and function-typed arguments passed into
+// slots the callee invokes contribute through ParamCalls.
+
+// sendKind distinguishes the two primitive send sites.
+type sendKind int
+
+const (
+	sendBroadcast sendKind = iota
+	sendUnicast
+)
+
+func (st *funcState) sendScan() {
+	st.scanSends(st.fd.Body, SendConst, make(map[ast.Node]bool))
+}
+
+// scanSends walks n with execution class exec. handled marks function
+// literals already attributed a precise invocation class at a call
+// site, so the default treatment (a stray literal may run O(n) times)
+// does not double-walk them.
+func (st *funcState) scanSends(n ast.Node, exec uint8, handled map[ast.Node]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.ForStmt:
+			inner := exec
+			if !st.constTrip(x) {
+				inner = ClassMul(exec, SendLinear)
+			}
+			if x.Init != nil {
+				st.scanSends(x.Init, exec, handled)
+			}
+			if x.Cond != nil {
+				st.scanSends(x.Cond, inner, handled)
+			}
+			if x.Post != nil {
+				st.scanSends(x.Post, inner, handled)
+			}
+			st.scanSends(x.Body, inner, handled)
+			return false
+		case *ast.RangeStmt:
+			if x.X != nil {
+				st.scanSends(x.X, exec, handled)
+			}
+			inner := exec
+			if !st.constRange(x) {
+				inner = ClassMul(exec, SendLinear)
+			}
+			st.scanSends(x.Body, inner, handled)
+			return false
+		case *ast.FuncLit:
+			// A literal nobody attributed: it may be stored and invoked
+			// up to O(n) times (documented over-approximation; a
+			// literal that sends nothing contributes nothing either
+			// way).
+			if !handled[x] {
+				handled[x] = true
+				st.scanSends(x.Body, ClassMul(exec, SendLinear), handled)
+			}
+			return false
+		case *ast.CallExpr:
+			st.scanCall(x, exec, handled)
+			return true
+		}
+		return true
+	})
+}
+
+// scanCall attributes the sends one call site performs at execution
+// class exec.
+func (st *funcState) scanCall(call *ast.CallExpr, exec uint8, handled map[ast.Node]bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Directly invoked literal: its body runs exactly once per
+	// execution of this site.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if !handled[lit] {
+			handled[lit] = true
+			st.scanSends(lit.Body, exec, handled)
+		}
+		return
+	}
+
+	// The primitive sites: env.Broadcast(p) / env.Send(to, p).
+	if kind, ok := st.roundEnvSend(fun); ok {
+		st.joinSend(kind, exec)
+		return
+	}
+
+	// Invocation of a function-typed parameter.
+	if slot, ok := st.fnParamSlot(fun); ok {
+		st.out.joinParamCall(slot, exec)
+		return
+	}
+
+	callee := Callee(st.pass.TypesInfo, call)
+	if callee == nil {
+		// Call through a function value. If the value may be a bound
+		// env.Broadcast/env.Send method value (it aliases the env
+		// parameter), count it as both kinds; if it aliases a
+		// function-typed parameter, record the invocation. Documented
+		// conservative edge (DESIGN.md §8.7).
+		st.fnValueSends(call.Fun, exec)
+		return
+	}
+
+	s := st.res.Of(callee)
+	st.joinSend(sendBroadcast, ClassMul(exec, s.Broadcasts))
+	st.joinSend(sendUnicast, ClassMul(exec, s.Unicasts))
+
+	// Function-typed arguments flowing into slots the callee invokes.
+	for i, arg := range call.Args {
+		idx, ok := ArgIndex(callee, i)
+		if !ok {
+			continue
+		}
+		c := s.ParamCallsAt(idx)
+		if c == SendNone {
+			continue
+		}
+		amp := ClassMul(exec, c)
+		arg = ast.Unparen(arg)
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			handled[lit] = true
+			st.scanSends(lit.Body, amp, handled)
+			continue
+		}
+		if kind, ok := st.roundEnvSend(arg); ok {
+			st.joinSend(kind, amp)
+			continue
+		}
+		if slot, ok := st.fnParamSlot(arg); ok {
+			st.out.joinParamCall(slot, amp)
+			continue
+		}
+		st.fnValueSends(arg, amp)
+	}
+}
+
+// joinSend raises the named counter to at least class c (a max-fold,
+// so the accumulated class is independent of visit order).
+func (st *funcState) joinSend(kind sendKind, c uint8) {
+	if kind == sendBroadcast {
+		if c > st.out.Broadcasts {
+			st.out.Broadcasts = c
+		}
+	} else {
+		if c > st.out.Unicasts {
+			st.out.Unicasts = c
+		}
+	}
+}
+
+// roundEnvSend recognizes a bound use (call or method value) of
+// simnet.RoundEnv's Broadcast or Send.
+func (st *funcState) roundEnvSend(e ast.Expr) (sendKind, bool) {
+	se, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	sel, ok := st.pass.TypesInfo.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal || !lintutil.IsRoundEnvPtr(sel.Recv()) {
+		return 0, false
+	}
+	switch sel.Obj().Name() {
+	case "Broadcast":
+		return sendBroadcast, true
+	case "Send":
+		return sendUnicast, true
+	}
+	return 0, false
+}
+
+// fnParamSlot reports whether e names a function-typed parameter and
+// returns its tracked slot.
+func (st *funcState) fnParamSlot(e ast.Expr) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := st.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return 0, false
+	}
+	slot, ok := st.paramSlot[obj]
+	if !ok {
+		return 0, false
+	}
+	if _, isSig := obj.Type().Underlying().(*types.Signature); !isSig {
+		return 0, false
+	}
+	return slot, true
+}
+
+// fnValueSends attributes a dynamic function value (called, or passed
+// into an invoking slot) at class amp, based on what the value may
+// alias: the env parameter (a bound send method value — join both
+// kinds) or a function-typed parameter (a laundered ParamCalls edge).
+func (st *funcState) fnValueSends(e ast.Expr, amp uint8) {
+	if amp == SendNone {
+		return
+	}
+	m := st.taintOf(e)
+	if m == 0 {
+		return
+	}
+	for obj, slot := range st.paramSlot {
+		if m&(1<<uint(slot)) == 0 {
+			continue
+		}
+		if lintutil.IsRoundEnvPtr(obj.Type()) {
+			st.joinSend(sendBroadcast, amp)
+			st.joinSend(sendUnicast, amp)
+		} else if _, isSig := obj.Type().Underlying().(*types.Signature); isSig {
+			st.out.joinParamCall(slot, amp)
+		}
+	}
+}
+
+// constTrip reports whether a for statement's trip count is provably
+// independent of the participant count: its condition compares against
+// a compile-time constant. Everything else — including shard bounds
+// and len() of any slice — counts as an n-loop.
+func (st *funcState) constTrip(n *ast.ForStmt) bool {
+	if n.Cond == nil {
+		return false
+	}
+	be, ok := ast.Unparen(n.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	return st.constVal(be.X) || st.constVal(be.Y)
+}
+
+// constRange reports whether a range statement iterates a provably
+// constant number of times: over a fixed-size array or a constant
+// integer. Slices, maps, channels, strings, and iterator functions all
+// count as n-loops.
+func (st *funcState) constRange(n *ast.RangeStmt) bool {
+	tv, ok := st.pass.TypesInfo.Types[n.X]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil {
+		return true // range over a constant integer
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := t.Elem().Underlying().(*types.Array)
+		return isArr
+	}
+	return false
+}
+
+// constVal reports whether e is a compile-time constant.
+func (st *funcState) constVal(e ast.Expr) bool {
+	tv, ok := st.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
 }

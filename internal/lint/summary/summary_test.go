@@ -48,6 +48,19 @@ func Test(t *testing.T) {
 	linttest.Run(t, "testdata", dump, "leaf", "helper", "proto", "cyc")
 }
 
+// TestSends pins the send-class and mutation facts: direct and
+// loop-amplified env.Broadcast/env.Send sites, helper-laundered sends
+// via ParamCalls, and the conservative dynamic edges.
+func TestSends(t *testing.T) {
+	linttest.Run(t, "testdata", dump, "sends")
+}
+
+// TestDirectives pins the pass's own diagnostics: unused and inert
+// //lint:commutative / //lint:valuecopy directives.
+func TestDirectives(t *testing.T) {
+	linttest.Run(t, "testdata", summary.Analyzer, "directives")
+}
+
 // TestArgIndex pins the slot mapping conventions the consuming passes
 // rely on: receiver shift and variadic collapse.
 func TestArgIndex(t *testing.T) {

@@ -327,6 +327,37 @@ func (s *Suite) ObserveRound(round int, events []trace.Event) {
 	}
 }
 
+// StatsOracle is the optional extension of Oracle for monitors that
+// consume the engine's per-round accounting (broadcast/unicast tallies)
+// rather than trace events — the runtime complexity oracle implements
+// it.
+type StatsOracle interface {
+	Oracle
+	// ObserveStats checks one round's ledger; nil means no violation.
+	ObserveStats(round int, acct simnet.RoundAccounting) *Violation
+}
+
+var _ simnet.RoundStatsObserver = (*Suite)(nil)
+
+// ObserveRoundStats implements simnet.RoundStatsObserver: every
+// not-yet-fired StatsOracle in the suite sees each successful round's
+// accounting, right after the event sweep.
+func (s *Suite) ObserveRoundStats(round int, acct simnet.RoundAccounting) {
+	for i, o := range s.oracles {
+		if s.fired[i] {
+			continue
+		}
+		so, ok := o.(StatsOracle)
+		if !ok {
+			continue
+		}
+		if v := so.ObserveStats(round, acct); v != nil {
+			s.fired[i] = true
+			s.violations = append(s.violations, *v)
+		}
+	}
+}
+
 // Violations returns all recorded violations in firing order.
 func (s *Suite) Violations() []Violation {
 	out := make([]Violation, len(s.violations))

@@ -123,8 +123,9 @@ func (rp *RoundPhases) RouteOnly() {
 	}
 	outs := rp.scratch[:len(rp.template)]
 	copy(outs, rp.template)
+	acct := rp.net.accountRound(outs)
 	deliveries, bytes := rp.net.route(outs)
-	rp.col.AddRound(rp.net.round, int64(len(outs)), deliveries, bytes)
+	rp.col.AddRound(rp.net.round, acct.Broadcasts, acct.Unicasts, deliveries, bytes)
 }
 
 // Close releases the underlying network's worker pool, if any.

@@ -219,6 +219,8 @@ func (in Inbox) At(i int) Received {
 // The iterator reads through the engine's recycled buffers and must not
 // be retained past the Step call (the Received values it yields are
 // safe to keep).
+//
+//lint:valuecopy the yielded Received values are by-value copies sharing no round-scoped memory; only the iterator closure itself aliases the inbox, and retaining an iter.Seq is outside the tracked shapes
 func (in Inbox) All() iter.Seq[Received] {
 	return func(yield func(Received) bool) {
 		bi, nb := 0, len(in.bcast)
@@ -243,9 +245,9 @@ func (in Inbox) All() iter.Seq[Received] {
 // inbox order. It materializes a copy — the convenience for tests and
 // for the rare consumer that genuinely needs random access to an
 // owned snapshot; hot paths should iterate with All instead. The
-// returned slice is the caller's and safe to retain.
-//
-//lint:valuecopy Slice returns a freshly allocated slice of by-value copies
+// returned slice is the caller's and safe to retain. (No //lint:valuecopy
+// here: with All's yield values already fact-free, the analysis derives
+// no flow on its own — the directive would be unused.)
 func (in Inbox) Slice() []Received {
 	out := make([]Received, 0, in.Len())
 	for m := range in.All() {

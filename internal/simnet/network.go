@@ -86,6 +86,39 @@ type RoundObserver interface {
 	ObserveRound(round int, events []trace.Event)
 }
 
+// RoundAccounting is the per-round traffic ledger: the
+// broadcast/unicast split of the round's send operations, the
+// post-fanout delivery tallies, and the largest single-node send
+// counts among correct senders — the quantity the protocols' certified
+// complexity contracts bound. It is computed in one allocation-free
+// pass over the node-ordered merged send stream.
+type RoundAccounting struct {
+	// Broadcasts and Unicasts count the round's send operations by
+	// kind, across all senders.
+	Broadcasts int64
+	Unicasts   int64
+	// Deliveries and Bytes are the post-fanout totals, as in
+	// trace.RoundStats.
+	Deliveries int64
+	Bytes      int64
+	// Nodes is the number of live processes this round.
+	Nodes int
+	// CorrectMaxBroadcasts and CorrectMaxUnicasts are the largest
+	// per-node tallies among non-Byzantine senders. Byzantine nodes
+	// are excluded: an adversary is free to flood, and the complexity
+	// contracts only bound correct processes.
+	CorrectMaxBroadcasts int
+	CorrectMaxUnicasts   int
+}
+
+// RoundStatsObserver is the optional extension of RoundObserver: an
+// observer that also implements it receives each successful round's
+// RoundAccounting immediately after ObserveRound. The runtime
+// complexity oracle attaches here.
+type RoundStatsObserver interface {
+	ObserveRoundStats(round int, acct RoundAccounting)
+}
+
 // DefaultMaxRounds is the Run bound used when Config.MaxRounds is zero.
 const DefaultMaxRounds = 10_000
 
@@ -293,12 +326,11 @@ func (n *Network) RunRound() error {
 	n.round++
 
 	var outs []send
-	var sends int64
 	var err error
 	if n.cfg.Concurrent {
-		outs, sends, err = n.stepConcurrent()
+		outs, _, err = n.stepConcurrent()
 	} else {
-		outs, sends, err = n.stepSequential()
+		outs, _, err = n.stepSequential()
 	}
 	if err != nil {
 		n.err = err
@@ -307,14 +339,70 @@ func (n *Network) RunRound() error {
 	if n.cfg.EventLog != nil {
 		n.cfg.EventLog.RecordBatch(n.stepEvents)
 	}
+	var statsObs RoundStatsObserver
+	if n.cfg.Observer != nil {
+		statsObs, _ = n.cfg.Observer.(RoundStatsObserver)
+	}
+	var acct RoundAccounting
+	if n.cfg.Collector != nil || statsObs != nil {
+		// Account before route: the in-place block-local sort below
+		// reorders outs (within sender runs, not across them), and the
+		// tally pass wants the raw stream.
+		acct = n.accountRound(outs)
+	}
 	deliveries, bytes := n.route(outs)
+	acct.Deliveries, acct.Bytes = deliveries, bytes
 	if n.cfg.Collector != nil {
-		n.cfg.Collector.AddRound(n.round, sends, deliveries, bytes)
+		n.cfg.Collector.AddRound(n.round, acct.Broadcasts, acct.Unicasts, deliveries, bytes)
 	}
 	if n.cfg.Observer != nil {
 		n.cfg.Observer.ObserveRound(n.round, n.roundEvents)
 	}
+	if statsObs != nil {
+		statsObs.ObserveRoundStats(n.round, acct)
+	}
 	return nil
+}
+
+// accountRound tallies the round's merged send stream: total
+// broadcast/unicast counts plus the per-node maxima among correct
+// senders. The stream is node-ordered (each sender's queue is
+// contiguous), so one pass with run-boundary detection suffices — no
+// per-node scratch, no allocation.
+func (n *Network) accountRound(outs []send) RoundAccounting {
+	acct := RoundAccounting{Nodes: len(n.live)}
+	var curFrom ids.ID
+	var curB, curU int
+	have := false
+	flush := func() {
+		if !have {
+			return
+		}
+		if st, ok := n.procs[curFrom]; ok && !st.byzantine {
+			if curB > acct.CorrectMaxBroadcasts {
+				acct.CorrectMaxBroadcasts = curB
+			}
+			if curU > acct.CorrectMaxUnicasts {
+				acct.CorrectMaxUnicasts = curU
+			}
+		}
+	}
+	for i := range outs {
+		s := &outs[i]
+		if !have || s.from != curFrom {
+			flush()
+			curFrom, curB, curU, have = s.from, 0, 0, true
+		}
+		if s.to == ids.None {
+			acct.Broadcasts++
+			curB++
+		} else {
+			acct.Unicasts++
+			curU++
+		}
+	}
+	flush()
+	return acct
 }
 
 // noteResult folds one node's step outcome into the round: containment
@@ -399,6 +487,8 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 // immutable parts of n. A panic inside Process.Step is contained here —
 // inside the per-node task, before the node-order merge — so the
 // conversion into a crash fault is identical for every worker count.
+//
+//lint:shardsafe owns=st the step task writes only its node's state; n is read-only here
 func (n *Network) stepOne(st *procState) stepResult {
 	inbox := st.inbox
 	// The inbox view reads through the shared broadcast block and the

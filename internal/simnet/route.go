@@ -268,6 +268,8 @@ func (n *Network) routePrepare(outs []send) {
 // tallies and event buffer; the broadcast block, the unicast arena and
 // the index lists the views read through are written only by the serial
 // prepare pass and are read-only here.
+//
+//lint:shardsafe owns=sh the shard ranges partition the receivers; inboxes in [sh.lo, sh.hi) are shard-owned
 func (n *Network) routeShardDeliver(sh *routeShard) {
 	logging := n.cfg.EventLog != nil || n.cfg.Observer != nil
 	round := n.round + 1 // deliveries land at the start of the next round

@@ -18,8 +18,13 @@ type RoundStats struct {
 	// Round is the 1-based round number.
 	Round int
 	// Sends counts send operations performed by processes (a broadcast
-	// is one send operation).
+	// is one send operation): Broadcasts + Unicasts.
 	Sends int64
+	// Broadcasts and Unicasts split Sends by kind. The batch AddRound
+	// path fills them; the incremental RecordSend path leaves them
+	// zero (it cannot know the kind).
+	Broadcasts int64
+	Unicasts   int64
 	// Deliveries counts point-to-point deliveries after fan-out and
 	// duplicate filtering (a broadcast to n live nodes is n deliveries);
 	// this is the conventional "message complexity" unit.
@@ -32,8 +37,12 @@ type RoundStats struct {
 type Report struct {
 	// Rounds is the number of rounds the network executed.
 	Rounds int
-	// Sends, Deliveries and Bytes are totals over all rounds.
+	// Sends, Deliveries and Bytes are totals over all rounds;
+	// Broadcasts and Unicasts split the Sends total (batch path only,
+	// as in RoundStats).
 	Sends      int64
+	Broadcasts int64
+	Unicasts   int64
 	Deliveries int64
 	Bytes      int64
 	// PerRound has one entry per executed round, in order.
@@ -66,20 +75,26 @@ type Collector struct {
 
 // AddRound records a complete round's traffic in one batch: one lock
 // acquisition instead of one per message. This is the simulator's hot
-// path — the round engine accumulates sends/deliveries/bytes in
-// round-local counters and flushes them here once per round, only after
-// the round validated and routed (an aborted round contributes nothing).
-func (c *Collector) AddRound(round int, sends, deliveries, bytes int64) {
+// path — the round engine accumulates broadcast/unicast/delivery/byte
+// tallies in round-local counters and flushes them here once per round,
+// only after the round validated and routed (an aborted round
+// contributes nothing).
+func (c *Collector) AddRound(round int, broadcasts, unicasts, deliveries, bytes int64) {
+	sends := broadcasts + unicasts
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.report.Rounds = round
 	c.report.PerRound = append(c.report.PerRound, RoundStats{
 		Round:      round,
 		Sends:      sends,
+		Broadcasts: broadcasts,
+		Unicasts:   unicasts,
 		Deliveries: deliveries,
 		Bytes:      bytes,
 	})
 	c.report.Sends += sends
+	c.report.Broadcasts += broadcasts
+	c.report.Unicasts += unicasts
 	c.report.Deliveries += deliveries
 	c.report.Bytes += bytes
 }

@@ -25,6 +25,7 @@ type Event struct {
 // members, advance rounds, read chains. It is not safe for concurrent
 // use.
 type OrderingCluster struct {
+	cl        *cluster
 	net       *simnet.Network
 	collector *trace.Collector
 	rng       *rand.Rand
@@ -36,12 +37,13 @@ type OrderingCluster struct {
 // cfg.Correct founding members (plus cfg.Byzantine silent Byzantine
 // founders counted in every snapshot). Use Join/Leave for churn.
 func NewOrderingCluster(cfg Config) (*OrderingCluster, error) {
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "ordering")
 	if err != nil {
 		return nil, err
 	}
 	members := ids.NewSet(cl.all...)
 	oc := &OrderingCluster{
+		cl:        cl,
 		net:       cl.net,
 		collector: cl.collector,
 		rng:       rand.New(rand.NewSource(cfg.Seed + 7919)),
@@ -79,7 +81,7 @@ func (c *OrderingCluster) RunRounds(rounds int) error {
 			return fmt.Errorf("ordering round: %w", err)
 		}
 	}
-	return nil
+	return c.cl.complexityErr()
 }
 
 // SubmitEvent queues an event at the given member for its next round.

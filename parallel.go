@@ -36,7 +36,7 @@ func ParallelConsensus(cfg Config, inputs [][]Pair) (*ParallelResult, error) {
 	if len(inputs) != cfg.Correct {
 		return nil, fmt.Errorf("uba: %d input sets for %d correct nodes", len(inputs), cfg.Correct)
 	}
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "parallelcon")
 	if err != nil {
 		return nil, err
 	}

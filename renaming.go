@@ -28,7 +28,7 @@ type RenamingResult struct {
 // compact consistent names out. AdversaryGhost injects non-existent
 // identifiers into the set agreement.
 func Renaming(cfg Config) (*RenamingResult, error) {
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "renaming")
 	if err != nil {
 		return nil, err
 	}

@@ -37,7 +37,7 @@ func rotorOpinion(id ids.ID) wire.Value { return wire.V(float64(id % 1000003)) }
 // correct nodes, the attack the algorithm's counting argument is built
 // to survive.
 func Rotor(cfg Config) (*RotorResult, error) {
-	cl, err := newCluster(cfg)
+	cl, err := newCluster(cfg, "rotor")
 	if err != nil {
 		return nil, err
 	}

@@ -34,6 +34,7 @@ import (
 
 	"uba/internal/adversary"
 	"uba/internal/ids"
+	"uba/internal/oracle"
 	"uba/internal/simnet"
 	"uba/internal/trace"
 )
@@ -166,13 +167,20 @@ type cluster struct {
 	cfg        Config
 	net        *simnet.Network
 	collector  *trace.Collector
+	suite      *oracle.Suite // the harness's own complexity oracle, nil without a contract
 	all        []ids.ID
 	correctIDs []ids.ID
 	byzIDs     []ids.ID
 	dir        *adversary.Directory
 }
 
-func newCluster(cfg Config) (*cluster, error) {
+// newCluster builds the scaffolding for one run of the named protocol
+// family. Families with a certified complexity contract (all nine)
+// get the runtime complexity oracle attached alongside any caller
+// observer, so every campaign — sweep cells, soak runs, examples —
+// cross-checks the statically certified per-round send classes against
+// observed traffic.
+func newCluster(cfg Config, family string) (*cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -183,12 +191,18 @@ func newCluster(cfg Config) (*cluster, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	all := ids.Sparse(rng, cfg.Correct+nByz)
 	collector := &trace.Collector{}
+	var suite *oracle.Suite
+	obs := cfg.Observer
+	if co := oracle.NewComplexityFor(family, 0); co != nil {
+		suite = oracle.NewSuite(co)
+		obs = obsMux{user: cfg.Observer, suite: suite}
+	}
 	net := simnet.New(simnet.Config{
 		MaxRounds:  cfg.MaxRounds,
 		Concurrent: cfg.Concurrent,
 		Collector:  collector,
 		EventLog:   cfg.EventLog,
-		Observer:   cfg.Observer,
+		Observer:   obs,
 		SendQuota:  cfg.SendQuota,
 		ByteQuota:  cfg.ByteQuota,
 	})
@@ -196,11 +210,34 @@ func newCluster(cfg Config) (*cluster, error) {
 		cfg:        cfg,
 		net:        net,
 		collector:  collector,
+		suite:      suite,
 		all:        all,
 		correctIDs: all[:cfg.Correct],
 		byzIDs:     all[cfg.Correct:],
 		dir:        adversary.NewDirectory(all, all[cfg.Correct:]),
 	}, nil
+}
+
+// obsMux fans the engine's observer callbacks out to the caller's
+// observer and the harness's own oracle suite, including the
+// round-accounting extension when either side implements it.
+type obsMux struct {
+	user  simnet.RoundObserver
+	suite *oracle.Suite
+}
+
+func (m obsMux) ObserveRound(round int, events []trace.Event) {
+	if m.user != nil {
+		m.user.ObserveRound(round, events)
+	}
+	m.suite.ObserveRound(round, events)
+}
+
+func (m obsMux) ObserveRoundStats(round int, acct simnet.RoundAccounting) {
+	if so, ok := m.user.(simnet.RoundStatsObserver); ok {
+		so.ObserveRoundStats(round, acct)
+	}
+	m.suite.ObserveRoundStats(round, acct)
 }
 
 // byzFactory builds one Byzantine process for a coalition slot; correctByz
@@ -221,7 +258,23 @@ func (c *cluster) addByzantine(
 }
 
 func (c *cluster) run(stop func(*simnet.Network) bool) (int, error) {
-	return c.net.Run(stop)
+	rounds, err := c.net.Run(stop)
+	if err == nil {
+		err = c.complexityErr()
+	}
+	return rounds, err
+}
+
+// complexityErr surfaces a fired complexity oracle as a run error: a
+// correct node exceeding its family's certified per-round send class
+// is a protocol or engine regression, not a protocol outcome. Runners
+// that drive RunRound themselves call it once at the end of the run.
+func (c *cluster) complexityErr() error {
+	if c.suite == nil || !c.suite.Failed() {
+		return nil
+	}
+	v := c.suite.First()
+	return fmt.Errorf("uba: %s oracle fired in round %d: %s", v.Oracle, v.Round, v.Detail)
 }
 
 // close releases the network's worker pool (a no-op for sequential
