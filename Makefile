@@ -14,10 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: the repo's own go/analysis suite (cmd/ubalint) run
-# over every package via go vet's -vettool protocol. The six passes —
-# retainenv, determinism, sharedstate, wirereg, complexity, shardsafe —
-# enforce the simnet engine, wire-registration, message-complexity, and
-# shard-ownership contracts, fed by the interprocedural summary fact
+# over every package via go vet's -vettool protocol. The eight passes —
+# retainenv, determinism, sharedstate, wirereg, complexity, shardsafe,
+# noalloc, nonblock — enforce the simnet engine, wire-registration,
+# message-complexity, shard-ownership, allocation-freedom, and
+# non-blocking contracts, fed by the interprocedural summary fact
 # pass; see DESIGN.md "Static analysis" and internal/lint.
 # Suppress a false positive in-source with: //lint:allow <pass> <reason>
 #

@@ -22,8 +22,11 @@ var benchSizes = []int{32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
 // phaseSizes are the sizes the phase-split (step-only / route-only)
 // benchmarks sweep. The split attributes round time to the half that
 // spends it: step is the worker-pool dispatch + Step calls, route is
-// block-sort + dedup + arena sizing + sharded delivery.
-var phaseSizes = []int{256, 512, 1024}
+// block-sort + dedup + arena sizing + sharded delivery. n=4096 extends
+// the split into the territory where the sparse delivery path carries
+// the round, and is the larger of the two sizes the zero-alloc gate
+// (internal/simnet alloc_gate_test.go) certifies at runtime.
+var phaseSizes = []int{256, 512, 1024, 4096}
 
 // engineBenchResult is one benchmark measurement in BENCH_simnet.json.
 type engineBenchResult struct {
@@ -156,8 +159,11 @@ func procsSpec(spec benchSpec, procs int) benchSpec {
 
 // allSpecs is the full `make bench-json` sweep: round benchmarks over
 // benchSizes, then the phase split over phaseSizes, for both runners,
-// plus a GOMAXPROCS-pinned concurrent row at the top size so scaling
-// under fixed parallelism is tracked in-repo.
+// plus GOMAXPROCS-pinned concurrent rows so scaling under fixed
+// parallelism is tracked in-repo: a {1,4,8}-proc ladder at the two
+// sizes the zero-alloc gate certifies (the procs=1 rung doubles as the
+// pool-overhead row — the pooled runner on one core against the
+// sequential row of the same size), and the legacy top-size row.
 func allSpecs() []benchSpec {
 	var specs []benchSpec
 	for _, runner := range []string{"sequential", "concurrent"} {
@@ -170,6 +176,11 @@ func allSpecs() []benchSpec {
 			for _, n := range phaseSizes {
 				specs = append(specs, phaseSpec(phase, runner, n))
 			}
+		}
+	}
+	for _, n := range []int{1024, 4096} {
+		for _, procs := range []int{1, 4, 8} {
+			specs = append(specs, procsSpec(roundSpec("concurrent", n), procs))
 		}
 	}
 	specs = append(specs, procsSpec(roundSpec("concurrent", 8192), 4))

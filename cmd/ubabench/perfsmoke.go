@@ -9,15 +9,23 @@ import (
 )
 
 // smokeSpecs is the perf-smoke subset: the n=256 full-round and
-// phase-split benchmarks for both runners. Small enough to finish in
-// seconds on a CI runner, broad enough that a regression in either
-// phase or either runner moves at least one row.
+// phase-split benchmarks for both runners, plus the route-only rows at
+// the two sizes the zero-alloc gate certifies (n=1024, n=4096) — the
+// allocs/op band on those rows is the perf-trajectory counterpart of
+// the //lint:noalloc contract, so an allocation creeping back into the
+// certified route path fails the smoke even where the AllocsPerRun
+// gate is not running. Small enough to finish in seconds on a CI
+// runner, broad enough that a regression in either phase or either
+// runner moves at least one row.
 func smokeSpecs() []benchSpec {
 	var specs []benchSpec
 	for _, runner := range []string{"sequential", "concurrent"} {
 		specs = append(specs, roundSpec(runner, 256))
 		for _, phase := range []string{"step", "route"} {
 			specs = append(specs, phaseSpec(phase, runner, 256))
+		}
+		for _, n := range []int{1024, 4096} {
+			specs = append(specs, phaseSpec("route", runner, n))
 		}
 	}
 	return specs

@@ -1,8 +1,9 @@
 // ubalint is the repo's static-analysis gate: a go/analysis
-// multichecker running the seven custom passes that enforce the simnet
+// multichecker running the nine custom passes that enforce the simnet
 // engine and wire contracts (retainenv, determinism, sharedstate,
-// wirereg, complexity, shardsafe, plus the interprocedural summary
-// fact pass — see internal/lint and DESIGN.md "Static analysis").
+// wirereg, complexity, shardsafe, noalloc, nonblock, plus the
+// interprocedural summary fact pass — see internal/lint and DESIGN.md
+// "Static analysis").
 //
 // It speaks the unitchecker protocol, so it is driven through go vet,
 // which handles package loading, export data, and ./... expansion:
@@ -26,6 +27,15 @@
 // directives and prints the certified contract table as JSON — the
 // same table internal/complexity.Registry pins and the runtime oracle
 // enforces.
+//
+// A third mode inventories every certified contract at once:
+//
+//	ubalint -contracts-dump [root]
+//
+// emits one JSON object with the //lint:complexity table plus the
+// function-level //lint:noalloc, //lint:nonblock, and doc-level
+// //lint:coldpath directives with their reasons — the
+// per-commit contracts artifact CI archives.
 package main
 
 import (
@@ -40,18 +50,28 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "-complexity-dump" {
+	if len(os.Args) > 1 {
 		root := "."
 		if len(os.Args) > 2 {
 			root = os.Args[2]
 		}
-		if err := dumpComplexity(root, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "ubalint:", err)
-			os.Exit(1)
+		switch os.Args[1] {
+		case "-complexity-dump":
+			exitOnErr(dumpComplexity(root, os.Stdout))
+			return
+		case "-contracts-dump":
+			exitOnErr(dumpContracts(root, os.Stdout))
+			return
 		}
-		return
 	}
 	unitchecker.Main(lint.Analyzers()...)
+}
+
+func exitOnErr(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ubalint:", err)
+		os.Exit(1)
+	}
 }
 
 // dumpComplexity emits the scanned //lint:complexity directive table
@@ -64,4 +84,45 @@ func dumpComplexity(root string, w *os.File) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(dirs)
+}
+
+// contractsInventory is the -contracts-dump schema: every certified
+// contract in the tree, keyed by directive kind.
+type contractsInventory struct {
+	// Complexity is the //lint:complexity table, as -complexity-dump
+	// emits it.
+	Complexity []complexity.Directive `json:"complexity"`
+	// Noalloc, Nonblock and Coldpath are the function-level hot-path
+	// contracts: proven allocation-free, proven non-blocking, and
+	// declared cold (fact cleared), each with its mandatory reason.
+	Noalloc  []complexity.FuncDirective `json:"noalloc"`
+	Nonblock []complexity.FuncDirective `json:"nonblock"`
+	Coldpath []complexity.FuncDirective `json:"coldpath"`
+}
+
+// dumpContracts emits the full certified-contracts inventory as one
+// indented JSON object.
+func dumpContracts(root string, w *os.File) error {
+	inv := contractsInventory{}
+	var err error
+	if inv.Complexity, err = complexity.Scan(root); err != nil {
+		return err
+	}
+	fns, err := complexity.ScanFuncDirectives(root, "noalloc", "nonblock", "coldpath")
+	if err != nil {
+		return err
+	}
+	for _, d := range fns {
+		switch d.Directive {
+		case "noalloc":
+			inv.Noalloc = append(inv.Noalloc, d)
+		case "nonblock":
+			inv.Nonblock = append(inv.Nonblock, d)
+		case "coldpath":
+			inv.Coldpath = append(inv.Coldpath, d)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(inv)
 }

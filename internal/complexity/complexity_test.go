@@ -2,6 +2,7 @@ package complexity_test
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"uba/internal/complexity"
@@ -30,6 +31,40 @@ func TestRegistryMatchesDirectives(t *testing.T) {
 		if d.Contract != e.Contract {
 			t.Errorf("%s.%s: directive declares %s, registry pins %s (%s)",
 				d.Family, d.Type, d.Contract, e.Contract, d.Pos)
+		}
+	}
+}
+
+// TestScanFuncDirectives pins the function-level contract scanner the
+// -contracts-dump inventory rides on: receiver-qualified names,
+// mandatory reasons, and the known anchors of the certified hot path.
+func TestScanFuncDirectives(t *testing.T) {
+	dirs, err := complexity.ScanFuncDirectives("../simnet", "noalloc", "nonblock", "coldpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		if d.Reason == "" {
+			t.Errorf("%s %s.%s (%s): empty reason survived the scan", d.Directive, d.Package, d.Func, d.Pos)
+		}
+		if !strings.Contains(d.Pos, ".go:") {
+			t.Errorf("%s %s.%s: malformed pos %q", d.Directive, d.Package, d.Func, d.Pos)
+		}
+		found[d.Directive+" "+d.Func] = true
+	}
+	// The round hot path's anchors: the delivery walk is certified both
+	// allocation-free and non-blocking, and the pool construction is
+	// declared cold. These names changing is a real contract change.
+	for _, want := range []string{
+		"noalloc (*Network).route",
+		"noalloc (*Network).routeShardDeliver",
+		"nonblock (*Network).routeShardDeliver",
+		"nonblock (*Network).stepOne",
+		"coldpath (*Network).startPool",
+	} {
+		if !found[want] {
+			t.Errorf("scan of internal/simnet missing %q (have %d directives)", want, len(dirs))
 		}
 	}
 }

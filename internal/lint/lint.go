@@ -1,13 +1,15 @@
 // Package lint assembles the ubalint analyzer suite: the custom
 // go/analysis passes that mechanically enforce the simulator's
-// determinism, buffer-recycling, message-complexity, and
-// shard-isolation contracts (see DESIGN.md "Static analysis" for what
-// each pass proves and its known edges).
+// determinism, buffer-recycling, message-complexity, shard-isolation,
+// allocation-freedom, and non-blocking contracts (see DESIGN.md
+// "Static analysis" for what each pass proves and its known edges).
 package lint
 
 import (
 	"uba/internal/lint/complexity"
 	"uba/internal/lint/determinism"
+	"uba/internal/lint/noalloc"
+	"uba/internal/lint/nonblock"
 	"uba/internal/lint/retainenv"
 	"uba/internal/lint/sharedstate"
 	"uba/internal/lint/shardsafe"
@@ -20,8 +22,8 @@ import (
 // Analyzers returns the full ubalint suite in a fixed order. The
 // summary fact pass is listed even though it exists primarily for its
 // facts: as a root analyzer its directive-policing diagnostics (unused
-// //lint:commutative / //lint:valuecopy) are printed rather than
-// swallowed by the driver.
+// //lint:commutative / //lint:valuecopy / //lint:coldpath) are printed
+// rather than swallowed by the driver.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		retainenv.Analyzer,
@@ -30,6 +32,8 @@ func Analyzers() []*analysis.Analyzer {
 		wirereg.Analyzer,
 		complexity.Analyzer,
 		shardsafe.Analyzer,
+		noalloc.Analyzer,
+		nonblock.Analyzer,
 		summary.Analyzer,
 	}
 }

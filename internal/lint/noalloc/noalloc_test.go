@@ -1,0 +1,25 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/linttest"
+	"uba/internal/lint/noalloc"
+)
+
+// TestConforming runs the pass over steady-state-exempt shapes:
+// capacity-guarded growth, recycled self-appends, by-value literals,
+// non-capturing and deferred literals, coldpath-exempted error
+// branches, certified-clean helpers, and non-boxing interface
+// operands. None of them may draw a finding.
+func TestConforming(t *testing.T) {
+	linttest.Run(t, "testdata", noalloc.Analyzer, "allocok")
+}
+
+// TestViolations pins one finding per allocation class, the
+// interprocedural laundering case (an unannotated helper whose
+// Allocates fact poisons its annotated caller), and the
+// malformed-directive policing.
+func TestViolations(t *testing.T) {
+	linttest.Run(t, "testdata", noalloc.Analyzer, "allocbad")
+}

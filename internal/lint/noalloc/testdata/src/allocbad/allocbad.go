@@ -1,0 +1,108 @@
+// Package allocbad pins every allocation class the prover reports,
+// plus the interprocedural laundering case and the malformed-directive
+// policing.
+package allocbad
+
+import "fmt"
+
+type item struct{ v int }
+
+func (it *item) value() int { return it.v }
+
+func fprint(v any) { _ = v }
+
+func spin() {}
+
+// launder allocates on behalf of its callers: the append is in return
+// position, not the recycled `x = append(x, ...)` shape, so its
+// summary fact carries the append kind across to every caller.
+func launder(s []int) []int {
+	return append(s, 1)
+}
+
+//lint:noalloc fixture claim: the builtins below allocate
+func Builtins(n int) {
+	_ = make([]int, n) // want `Builtins is declared //lint:noalloc, but make allocates`
+	p := new(item)     // want `Builtins is declared //lint:noalloc, but new allocates`
+	_ = p
+}
+
+//lint:noalloc fixture claim: the append grows a fresh local backing array
+func Growing(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `Growing is declared //lint:noalloc, but an append may grow its backing array`
+	}
+	return out
+}
+
+//lint:noalloc fixture claim: concatenation allocates a new string
+func Concat(a, b string) string {
+	return a + b // want `Concat is declared //lint:noalloc, but a string concatenation allocates`
+}
+
+//lint:noalloc fixture claim: concat-assign allocates on every pass
+func ConcatAssign(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `ConcatAssign is declared //lint:noalloc, but a string concatenation allocates`
+	}
+	return out
+}
+
+//lint:noalloc fixture claim: both conversions copy into fresh backing
+func Convert(bs []byte, s string) (string, []byte) {
+	return string(bs), []byte(s) // want `Convert is declared //lint:noalloc, but a conversion to string allocates` `Convert is declared //lint:noalloc, but a string-to-slice conversion allocates`
+}
+
+//lint:noalloc fixture claim: returning a concrete value as any boxes it
+func Box(x int) any {
+	return x // want `Box is declared //lint:noalloc, but an interface conversion boxes its operand`
+}
+
+//lint:noalloc fixture claim: the argument boxes into the any parameter
+func BoxParam(x int) {
+	fprint(x) // want `BoxParam is declared //lint:noalloc, but passing a concrete value to an interface parameter boxes it`
+}
+
+//lint:noalloc fixture claim: both literal shapes hit the heap
+func Lits() {
+	xs := []int{1, 2} // want `Lits is declared //lint:noalloc, but a slice or map literal allocates its backing store`
+	p := &item{v: 1}  // want `Lits is declared //lint:noalloc, but an addressed composite literal escapes to the heap`
+	_, _ = xs, p
+}
+
+//lint:noalloc fixture claim: the literal captures n, so it escapes
+func Capture(n int) func() int {
+	return func() int { return n } // want `Capture is declared //lint:noalloc, but a closure capturing enclosing variables allocates`
+}
+
+//lint:noalloc fixture claim: the method value binds its receiver
+func Bind(it *item) func() int {
+	return it.value // want `Bind is declared //lint:noalloc, but a method value allocates its binding`
+}
+
+//lint:noalloc fixture claim: every go statement allocates a g
+func Spawn() {
+	go spin() // want `Spawn is declared //lint:noalloc, but a go statement allocates a goroutine`
+}
+
+//lint:noalloc fixture claim: map writes may trigger bucket growth
+func Put(m map[string]int, k string) {
+	m[k] = 1 // want `Put is declared //lint:noalloc, but a map write may allocate`
+	m[k]++   // want `Put is declared //lint:noalloc, but a map element update may allocate`
+}
+
+//lint:noalloc fixture claim: the format call allocates its result
+func Log(x int) string {
+	return fmt.Sprintf("%d", x) // want `Log is declared //lint:noalloc, but a fmt call allocates`
+}
+
+//lint:noalloc fixture claim: the helper hides the allocation
+func Launder(s []int) []int {
+	return launder(s) // want `Launder is declared //lint:noalloc, but calls launder, which may allocate \(append\)`
+}
+
+//lint:noalloc
+func Malformed() { // want `malformed //lint:noalloc directive on Malformed: a reason is required`
+}

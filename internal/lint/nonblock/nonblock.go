@@ -1,0 +1,147 @@
+// Package nonblock implements the ubalint non-blocking certifier: a
+// worker-pool task body declares
+//
+//	//lint:nonblock <reason>
+//
+// and the pass proves it can never block its worker goroutine — no
+// channel sends or receives, no select without a default, no range
+// over a channel, no blocking standard-library calls (sync
+// lock/wait/once, time.Sleep, I/O and syscalls), and no call to a
+// function whose summary Blocks fact says it may do any of those
+// (DESIGN.md §8.10).
+//
+// This is the scheduling half of the contract shardsafe proves the
+// memory half of: the pool dispatches one task per node (step phase)
+// or per shard (route phase) and barriers on completion, so a task
+// that blocks mid-body can deadlock the round against the very
+// barrier that waits for it — and a task that merely sleeps stalls
+// every shard behind it. The channel operations of the pool itself
+// (dispatch, the worker loop) live driver-side, outside the annotated
+// bodies.
+//
+// Trust boundaries (documented in DESIGN.md §8.10): calls through
+// function values and interface methods — Process.Step above all —
+// are assumed non-blocking, and standard-library blocking entry
+// points are recognized by package path (summary.BlockingStd) since
+// std exports no facts.
+package nonblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"uba/internal/lint/lintutil"
+	"uba/internal/lint/summary"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the non-blocking certification pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "nonblock",
+	Doc:      "prove //lint:nonblock worker-pool task bodies never block their goroutine",
+	Run:      run,
+	Requires: []*analysis.Analyzer{summary.Analyzer},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	res := pass.ResultOf[summary.Analyzer].(*summary.Result)
+	sup := lintutil.NewSuppressor(pass, "nonblock")
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				args, ok := strings.CutPrefix(c.Text, "//lint:nonblock")
+				if !ok {
+					continue
+				}
+				check(pass, res, sup, fd, args)
+			}
+		}
+	}
+	sup.Done()
+	return nil, nil
+}
+
+// check proves one annotated task body.
+func check(pass *analysis.Pass, res *summary.Result, sup *lintutil.Suppressor, fd *ast.FuncDecl, args string) {
+	name := fd.Name.Name
+	if len(strings.Fields(args)) == 0 {
+		sup.Reportf(fd.Name.Pos(), "malformed //lint:nonblock directive on %s: a reason is required", name)
+		return
+	}
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !commClauseOp(stack, n) {
+				sup.Reportf(n.Pos(), "%s is declared //lint:nonblock, but sends on a channel", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !commClauseOp(stack, n) {
+				sup.Reportf(n.Pos(), "%s is declared //lint:nonblock, but receives from a channel", name)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				sup.Reportf(n.Pos(), "%s is declared //lint:nonblock, but selects without a default", name)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					sup.Reportf(n.Pos(), "%s is declared //lint:nonblock, but ranges over a channel", name)
+				}
+			}
+		case *ast.CallExpr:
+			callee := summary.Callee(pass.TypesInfo, n)
+			if callee == nil {
+				break // function values, dynamic dispatch: trust boundary
+			}
+			if reason, blocking := summary.BlockingStd(callee); blocking {
+				sup.Reportf(n.Pos(), "%s is declared //lint:nonblock, but %s (%s.%s)",
+					name, reason, callee.Pkg().Name(), callee.Name())
+				break
+			}
+			if res.Of(callee).Blocks {
+				sup.Reportf(n.Pos(), "%s is declared //lint:nonblock, but calls %s, which may block",
+					name, callee.Name())
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// commClauseOp reports whether the channel operation n is itself the
+// comm case of its enclosing select. Such operations are judged by the
+// SelectStmt case as a whole (a select with a default makes them
+// non-blocking attempts; one without already draws its own finding),
+// so reporting them individually would only duplicate it. Operations
+// in a clause *body* are ordinary and report normally.
+func commClauseOp(stack []ast.Node, n ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok {
+			return cc.Comm != nil && n.Pos() >= cc.Comm.Pos() && n.End() <= cc.Comm.End()
+		}
+	}
+	return false
+}
+
+// hasDefault reports whether the select has a default clause.
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

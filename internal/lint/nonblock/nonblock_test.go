@@ -1,0 +1,23 @@
+package nonblock_test
+
+import (
+	"testing"
+
+	"uba/internal/lint/linttest"
+	"uba/internal/lint/nonblock"
+)
+
+// TestConforming runs the certifier over non-blocking shapes:
+// select-with-default attempts (directly and through a
+// helper whose summary fact stays Blocks-free), atomics, and pure
+// computation. None of them may draw a finding.
+func TestConforming(t *testing.T) {
+	linttest.Run(t, "testdata", nonblock.Analyzer, "blockok")
+}
+
+// TestViolations pins one finding per blocking shape, the
+// helper-mediated case (a callee whose Blocks fact crosses into the
+// annotated body), and the malformed-directive policing.
+func TestViolations(t *testing.T) {
+	linttest.Run(t, "testdata", nonblock.Analyzer, "blockbad")
+}

@@ -1,0 +1,66 @@
+// Package blockbad pins every blocking shape the certifier reports:
+// bare channel operations, default-less selects, channel ranges,
+// blocking standard-library entry points, the helper-mediated case (a
+// callee whose Blocks fact crosses into the annotated body), and the
+// malformed-directive policing.
+package blockbad
+
+import (
+	"sync"
+	"time"
+)
+
+// relay blocks on behalf of its callers: the send gives it the Blocks
+// fact, which poisons every annotated caller.
+func relay(ch chan int, v int) {
+	ch <- v
+}
+
+//lint:nonblock fixture claim: the send parks the worker
+func Sends(ch chan int) {
+	ch <- 1 // want `Sends is declared //lint:nonblock, but sends on a channel`
+}
+
+//lint:nonblock fixture claim: the receive parks the worker
+func Receives(ch chan int) int {
+	return <-ch // want `Receives is declared //lint:nonblock, but receives from a channel`
+}
+
+//lint:nonblock fixture claim: no default means the select parks
+func Selects(a, b chan int) int {
+	select { // want `Selects is declared //lint:nonblock, but selects without a default`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//lint:nonblock fixture claim: the range parks until the channel closes
+func Drains(ch chan int) int {
+	total := 0
+	for v := range ch { // want `Drains is declared //lint:nonblock, but ranges over a channel`
+		total += v
+	}
+	return total
+}
+
+//lint:nonblock fixture claim: a sleeping shard stalls the whole phase
+func Sleeps() {
+	time.Sleep(time.Millisecond) // want `Sleeps is declared //lint:nonblock, but sleeps \(time\.Sleep\)`
+}
+
+//lint:nonblock fixture claim: lock acquisition can park the worker
+func Locks(mu *sync.Mutex) {
+	mu.Lock() // want `Locks is declared //lint:nonblock, but acquires a lock or waits on a sync primitive \(sync\.Lock\)`
+	defer mu.Unlock()
+}
+
+//lint:nonblock fixture claim: the helper hides the send
+func Relays(ch chan int) {
+	relay(ch, 7) // want `Relays is declared //lint:nonblock, but calls relay, which may block`
+}
+
+//lint:nonblock
+func Malformed() { // want `malformed //lint:nonblock directive on Malformed: a reason is required`
+}

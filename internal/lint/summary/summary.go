@@ -24,6 +24,15 @@
 //     state reachable from its parameters or a global, a string
 //     concatenation onto such state, a plain (non-fold) overwrite of
 //     such state, or a call to another order-sensitive function.
+//   - Allocates: a bitmask of allocation kinds (make, new, growing
+//     append, string conversion/concat, interface boxing, escaping
+//     composite literals, capturing closures, map writes, fmt calls)
+//     one call may perform in steady state, net of the amortized-growth
+//     exemptions documented in alloc.go. Consumed by the noalloc pass.
+//   - Blocks: one call may block the goroutine — a channel operation,
+//     a default-less select, a range over a channel, a blocking
+//     standard-library call (sync lock/wait, time.Sleep, I/O), or a
+//     callee that blocks. Consumed by the nonblock pass.
 //
 // Summaries are resolved to a fixpoint over the package's internal call
 // graph (mutual recursion converges because the lattice is finite and
@@ -37,15 +46,20 @@
 // Standard-library packages (sources under GOROOT) are not summarized:
 // their internal state is synchronization-protected machinery outside
 // the protocol state model, so std callees fall under the
-// effect-free-by-default rule. Two doc-comment directives adjust a
+// effect-free-by-default rule. Three doc-comment directives adjust a
 // declaration's facts: //lint:commutative <reason> clears
 // OrderSensitive — the sorted-insert escape hatch for operations whose
-// final state the author asserts is independent of call order — and
+// final state the author asserts is independent of call order —
 // //lint:valuecopy <reason> clears Flows, asserting that the returned
 // value is a plain copy sharing no memory with the receiver or
 // arguments (the simnet.Inbox.At shape: structurally the result reads
 // through the receiver's backing arrays, but what comes back is a
-// by-value Received the caller may keep).
+// by-value Received the caller may keep), and //lint:coldpath <reason>
+// clears Allocates, asserting that every allocation in the function
+// sits on an error or once-per-lifetime branch off the steady-state
+// path. coldpath also works as a line comment inside a body, exempting
+// the allocation sites on its own and the following line (the
+// //lint:allow convention); both forms are policed for staleness.
 package summary
 
 import (
@@ -145,6 +159,20 @@ type FuncSummary struct {
 	// store, a clear/delete/copy, or a callee that does the same to an
 	// argument aliasing the slot. Consumed by the shardsafe pass.
 	Mutates uint32
+
+	// Allocates is a bitmask of Alloc* kind bits: the heap-allocation
+	// kinds one call of the function may perform, net of the
+	// steady-state exemptions (capacity-guarded make/append, recycled
+	// self-appends, non-capturing and deferred literals, //lint:coldpath
+	// lines) and including allocations folded in from callees. Consumed
+	// by the noalloc pass.
+	Allocates uint16
+	// Blocks reports that one call of the function may block the
+	// calling goroutine: a channel send/receive, a select without a
+	// default, a range over a channel, a blocking standard-library call
+	// (sync lock/wait, time.Sleep, I/O), or a callee that does any of
+	// those. Consumed by the nonblock pass.
+	Blocks bool
 }
 
 // AFact marks FuncSummary as an analysis fact.
@@ -182,6 +210,15 @@ func (s *FuncSummary) String() string {
 	if s.Mutates != 0 {
 		parts = append(parts, fmt.Sprintf("mutates(%b)", s.Mutates))
 	}
+	// New fact renderings append at the end: the fixture wants match
+	// unanchored, so a summary can only grow rightward without breaking
+	// older expectations.
+	if s.Allocates != 0 {
+		parts = append(parts, "allocs("+AllocsString(s.Allocates)+")")
+	}
+	if s.Blocks {
+		parts = append(parts, "blocks")
+	}
 	if len(parts) == 0 {
 		return "pure"
 	}
@@ -190,7 +227,8 @@ func (s *FuncSummary) String() string {
 
 func (s FuncSummary) isZero() bool {
 	return s.Retains == 0 && s.Flows == 0 && !s.WritesGlobal && !s.OrderSensitive &&
-		s.Broadcasts == SendNone && s.Unicasts == SendNone && s.ParamCalls == 0 && s.Mutates == 0
+		s.Broadcasts == SendNone && s.Unicasts == SendNone && s.ParamCalls == 0 && s.Mutates == 0 &&
+		s.Allocates == 0 && !s.Blocks
 }
 
 // RetainsAt and FlowsAt test one tracked slot (see ArgIndex/RecvIndex).
@@ -263,7 +301,7 @@ func ArgIndex(fn *types.Func, i int) (int, bool) {
 // inert.
 var Analyzer = &analysis.Analyzer{
 	Name:       "summary",
-	Doc:        "compute per-function retention, flow, global-write, order-sensitivity, and send-class facts for the ubalint passes; report unused fact directives",
+	Doc:        "compute per-function retention, flow, global-write, order-sensitivity, send-class, allocation, and blocking facts for the ubalint passes; report unused fact directives",
 	Run:        run,
 	FactTypes:  []analysis.Fact{(*FuncSummary)(nil)},
 	ResultType: reflect.TypeOf((*Result)(nil)),
@@ -275,6 +313,7 @@ var Analyzer = &analysis.Analyzer{
 type Result struct {
 	pass  *analysis.Pass
 	local map[*types.Func]FuncSummary
+	cold  *coldIndex
 }
 
 // Of returns fn's summary, or the zero summary when fn is nil or has
@@ -314,10 +353,14 @@ func run(pass *analysis.Pass) (any, error) {
 	}
 
 	// Collect every function declaration with a body, noting which carry
-	// a //lint:commutative or //lint:valuecopy directive.
+	// a //lint:commutative, //lint:valuecopy, or //lint:coldpath
+	// directive. Doc-comment coldpath directives are remembered so the
+	// line-level index below does not double-count them.
 	decls := make(map[*types.Func]*ast.FuncDecl)
 	commutative := make(map[*types.Func]bool) // present = directive; value = has a reason
 	valuecopy := make(map[*types.Func]bool)
+	coldpath := make(map[*types.Func]bool)
+	docCold := make(map[*ast.Comment]bool)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -336,8 +379,17 @@ func run(pass *analysis.Pass) (any, error) {
 			if reasoned, ok := directive(fd, "//lint:valuecopy"); ok {
 				valuecopy[fn] = reasoned
 			}
+			if reasoned, ok := directive(fd, "//lint:coldpath"); ok {
+				coldpath[fn] = reasoned
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(c.Text, "//lint:coldpath") {
+						docCold[c] = true
+					}
+				}
+			}
 		}
 	}
+	res.cold = newColdIndex(pass, docCold)
 
 	// Fixpoint over the package-internal call graph: recompute every
 	// summary against the current ones until nothing grows. Effects only
@@ -353,6 +405,9 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			if valuecopy[fn] {
 				s.Flows = 0
+			}
+			if coldpath[fn] {
+				s.Allocates = 0
 			}
 			if s != res.local[fn] {
 				res.local[fn] = s
@@ -378,7 +433,8 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			raw := analyzeFunc(pass, res, fn, fd)
 			if (name == "//lint:commutative" && !raw.OrderSensitive) ||
-				(name == "//lint:valuecopy" && raw.Flows == 0) {
+				(name == "//lint:valuecopy" && raw.Flows == 0) ||
+				(name == "//lint:coldpath" && raw.Allocates == 0) {
 				sup.Reportf(fd.Name.Pos(), "unused %s directive: %s is not %s", name, fn.Name(), effect)
 			}
 		}
@@ -388,7 +444,14 @@ func run(pass *analysis.Pass) (any, error) {
 		if reasoned, ok := valuecopy[fn]; ok {
 			report(reasoned, "//lint:valuecopy", "flowing any parameter to a return value")
 		}
+		if reasoned, ok := coldpath[fn]; ok {
+			report(reasoned, "//lint:coldpath", "allocating on any path")
+		}
 	}
+	// Line-level coldpath directives are policed the same way: one that
+	// exempted no allocation site during the fixpoint (or the policing
+	// recomputations above) is stale.
+	res.cold.police(sup)
 	sup.Done()
 
 	// Export non-trivial summaries so downstream packages see them.
@@ -429,6 +492,11 @@ func inGOROOT(pass *analysis.Pass) bool {
 //	even though the body structurally reads through them (the
 //	simnet.Inbox.At shape: indexing a recycled backing array but
 //	returning a value-type element). Clears only Flows.
+//
+//	//lint:coldpath <reason> — every allocation in the function sits on
+//	an error or once-guarded branch off the steady-state path. Clears
+//	only Allocates. (The same directive as a line comment inside a body
+//	exempts individual sites instead; see alloc.go.)
 //
 // Retention and global-write facts are never cleared. Like the fold
 // carve-outs, directives are a documented trust boundary: the analysis
@@ -494,6 +562,9 @@ func analyzeFunc(pass *analysis.Pass, res *Result, fn *types.Func, fd *ast.FuncD
 	st.propagate()
 	st.findSinks()
 	st.sendScan()
+	for _, site := range st.allocSites() {
+		st.out.Allocates |= site.Kind
+	}
 	return st.out
 }
 
@@ -830,6 +901,25 @@ func (st *funcState) findSinks() {
 			}
 			st.out.Retains |= st.taintOf(n.Value)
 			st.out.Mutates |= st.taintOf(n.Chan)
+			if !nonblockingCommOp(stack, n) {
+				st.out.Blocks = true
+			}
+		case *ast.UnaryExpr:
+			// A channel receive blocks unless it is the comm clause of a
+			// select that has a default.
+			if n.Op == token.ARROW && !nonblockingCommOp(stack, n) {
+				st.out.Blocks = true
+			}
+		case *ast.SelectStmt:
+			if !hasDefaultClause(n) {
+				st.out.Blocks = true
+			}
+		case *ast.RangeStmt:
+			if t := st.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					st.out.Blocks = true
+				}
+			}
 		case *ast.GoStmt:
 			st.out.Retains |= st.goTaint(n)
 		case *ast.ReturnStmt:
@@ -1110,9 +1200,21 @@ func (st *funcState) sinkCall(call *ast.CallExpr) {
 	if callee == nil {
 		return
 	}
+	// Standard-library callees export no facts, so the two effects the
+	// hot-path contracts care about are recognized by package path
+	// before the zero-summary early return below.
+	if _, blocking := BlockingStd(callee); blocking {
+		st.out.Blocks = true
+	}
 	s := st.res.Of(callee)
 	if s.isZero() {
 		return
+	}
+	if s.Allocates != 0 && !st.res.cold.covers(st.pass.Fset, call.Pos()) {
+		st.out.Allocates |= s.Allocates
+	}
+	if s.Blocks {
+		st.out.Blocks = true
 	}
 	if s.Mutates != 0 {
 		if recv := receiverExpr(call); recv != nil && s.MutatesAt(RecvIndex) {

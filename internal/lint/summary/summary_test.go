@@ -55,8 +55,17 @@ func TestSends(t *testing.T) {
 	linttest.Run(t, "testdata", dump, "sends")
 }
 
+// TestAllocs pins the Allocates and Blocks facts: one rendering per
+// allocation kind, the steady-state exemptions (recycled self-append,
+// capacity guard, select-with-default), doc-level coldpath clearing,
+// and interprocedural folding of both facts.
+func TestAllocs(t *testing.T) {
+	linttest.Run(t, "testdata", dump, "allocs")
+}
+
 // TestDirectives pins the pass's own diagnostics: unused and inert
-// //lint:commutative / //lint:valuecopy directives.
+// //lint:commutative / //lint:valuecopy / //lint:coldpath directives,
+// at both doc and line level for coldpath.
 func TestDirectives(t *testing.T) {
 	linttest.Run(t, "testdata", summary.Analyzer, "directives")
 }

@@ -368,29 +368,22 @@ func (n *Network) RunRound() error {
 // broadcast/unicast counts plus the per-node maxima among correct
 // senders. The stream is node-ordered (each sender's queue is
 // contiguous), so one pass with run-boundary detection suffices — no
-// per-node scratch, no allocation.
+// per-node scratch, no allocation. The run-boundary flush is a method
+// rather than a closure: capturing the accumulators would heap-allocate
+// the closure every round.
+//
+//lint:noalloc the accounting pass runs every collected round and folds into stack-local tallies only
 func (n *Network) accountRound(outs []send) RoundAccounting {
 	acct := RoundAccounting{Nodes: len(n.live)}
 	var curFrom ids.ID
 	var curB, curU int
 	have := false
-	flush := func() {
-		if !have {
-			return
-		}
-		if st, ok := n.procs[curFrom]; ok && !st.byzantine {
-			if curB > acct.CorrectMaxBroadcasts {
-				acct.CorrectMaxBroadcasts = curB
-			}
-			if curU > acct.CorrectMaxUnicasts {
-				acct.CorrectMaxUnicasts = curU
-			}
-		}
-	}
 	for i := range outs {
 		s := &outs[i]
 		if !have || s.from != curFrom {
-			flush()
+			if have {
+				n.foldCorrectMax(&acct, curFrom, curB, curU)
+			}
 			curFrom, curB, curU, have = s.from, 0, 0, true
 		}
 		if s.to == ids.None {
@@ -401,13 +394,35 @@ func (n *Network) accountRound(outs []send) RoundAccounting {
 			curU++
 		}
 	}
-	flush()
+	if have {
+		n.foldCorrectMax(&acct, curFrom, curB, curU)
+	}
 	return acct
+}
+
+// foldCorrectMax folds one sender's per-round broadcast/unicast tallies
+// into the accounting's correct-sender maxima. Byzantine senders are
+// excluded: the complexity contracts only bound correct processes.
+//
+//lint:noalloc called once per sender run on the accounting pass; pure field updates
+func (n *Network) foldCorrectMax(acct *RoundAccounting, from ids.ID, b, u int) {
+	st, ok := n.procs[from]
+	if !ok || st.byzantine {
+		return
+	}
+	if b > acct.CorrectMaxBroadcasts {
+		acct.CorrectMaxBroadcasts = b
+	}
+	if u > acct.CorrectMaxUnicasts {
+		acct.CorrectMaxUnicasts = u
+	}
 }
 
 // noteResult folds one node's step outcome into the round: containment
 // events are appended in call — i.e. node — order, and contained
 // panics are recorded. Shared by both runners' node-order merges.
+//
+//lint:noalloc appends land in recycled round scratch; in a fault-free steady state both branches are untaken
 func (n *Network) noteResult(st *procState, res *stepResult) {
 	if res.crashed {
 		n.crashes = append(n.crashes, CrashRecord{
@@ -425,6 +440,10 @@ func (n *Network) noteResult(st *procState, res *stepResult) {
 	}
 }
 
+// stepSequential steps every live process in node order and merges the
+// send buffers into the recycled outs scratch.
+//
+//lint:noalloc the sequential step merge appends into the network's recycled outs buffer
 func (n *Network) stepSequential() ([]send, int64, error) {
 	outs := n.outs[:0]
 	n.stepEvents = n.stepEvents[:0]
@@ -446,6 +465,8 @@ func (n *Network) stepSequential() ([]send, int64, error) {
 // pool (started on first use) and merges the per-process send buffers in
 // node order, so the resulting outs slice is byte-identical to the
 // sequential runner's.
+//
+//lint:noalloc the pooled step merge reuses the results table (capacity-guarded) and the recycled outs buffer
 func (n *Network) stepConcurrent() ([]send, int64, error) {
 	if n.pool == nil {
 		n.startPool()
@@ -489,6 +510,8 @@ func (n *Network) stepConcurrent() ([]send, int64, error) {
 // conversion into a crash fault is identical for every worker count.
 //
 //lint:shardsafe owns=st the step task writes only its node's state; n is read-only here
+//lint:noalloc the per-node step task runs n times per round over recycled env/send scratch; only the error return formats
+//lint:nonblock step tasks run to the pool's phase barrier; a blocking task would deadlock the round against it
 func (n *Network) stepOne(st *procState) stepResult {
 	inbox := st.inbox
 	// The inbox view reads through the shared broadcast block and the
@@ -530,6 +553,7 @@ func (n *Network) stepOne(st *procState) stepResult {
 				continue
 			}
 			if _, known := st.contacts[s.to]; !known {
+				//lint:coldpath a contact-rule violation aborts the run; the error format never executes on the steady-state path
 				return stepResult{err: fmt.Errorf("%w: %v -> %v in round %d",
 					ErrContactRule, s.from, s.to, n.round)}
 			}
@@ -541,9 +565,12 @@ func (n *Network) stepOne(st *procState) stepResult {
 // safeStep runs one Step call with panic containment. It exists so the
 // deferred recover covers exactly the process code: a panic in the
 // engine itself still crashes loudly.
+//
+//lint:noalloc wraps every Step call; the deferred recover is open-coded and only a contained panic formats
 func safeStep(p Process, env *RoundEnv) (reason string, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			//lint:coldpath formatting the panic value runs once per contained crash, never on the steady-state path
 			reason = fmt.Sprint(r)
 			panicked = true
 		}
@@ -557,6 +584,8 @@ func safeStep(p Process, env *RoundEnv) (reason string, panicked bool) {
 // in queue order, so the drop decision is a pure function of the queue —
 // identical for both runners and every worker count. It returns the
 // surviving prefix and the number of dropped sends.
+//
+//lint:noalloc quota truncation slices and clears the caller's buffer in place
 func (n *Network) applyQuota(sends []send) ([]send, int) {
 	keep := len(sends)
 	if q := n.cfg.SendQuota; q > 0 && keep > q {

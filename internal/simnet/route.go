@@ -89,6 +89,8 @@ type routeShard struct {
 // dedup key is (sender, encoding) per receiver; digests short-circuit
 // the string compares and equal digests fall back to comparing full
 // encodings, so a 64-bit collision can never drop a distinct message).
+//
+//lint:noalloc the fan-out runs every round; shard table and event buffers are recycled, growth is capacity-guarded
 func (n *Network) route(outs []send) (deliveries, bytes int64) {
 	n.routePrepare(outs)
 
@@ -142,6 +144,8 @@ func (n *Network) route(outs []send) (deliveries, bytes int64) {
 // and classification, unicast bucketing, and exact arena sizing. After
 // it returns, routeShardDeliver can run for disjoint receiver ranges in
 // parallel with no further coordination.
+//
+//lint:noalloc the serial prepare pass reuses the network's index and arena scratch; all growth is capacity-guarded or appends into recycled buffers
 func (n *Network) routePrepare(outs []send) {
 	// (1) Block-local sort: each sender's block by (encoding, to).
 	for lo := 0; lo < len(outs); {
@@ -270,6 +274,8 @@ func (n *Network) routePrepare(outs []send) {
 // prepare pass and are read-only here.
 //
 //lint:shardsafe owns=sh the shard ranges partition the receivers; inboxes in [sh.lo, sh.hi) are shard-owned
+//lint:noalloc the delivery walk runs per receiver per round; inboxes are views and event buffers are shard-owned recycled scratch
+//lint:nonblock route tasks run to the pool's phase barrier; a blocking shard would deadlock the round against it
 func (n *Network) routeShardDeliver(sh *routeShard) {
 	logging := n.cfg.EventLog != nil || n.cfg.Observer != nil
 	round := n.round + 1 // deliveries land at the start of the next round
@@ -324,6 +330,7 @@ func (n *Network) routeShardDeliver(sh *routeShard) {
 				ui++
 			}
 			if st.contacts != nil {
+				//lint:coldpath contact-set maintenance runs only under EnforceContactRule, which the measured hot path disables
 				st.contacts[m.From] = struct{}{}
 			}
 			if logging {
@@ -347,6 +354,8 @@ func (n *Network) routeShardDeliver(sh *routeShard) {
 // shrinking round cannot pin the references the dead slots held. live
 // is updated to n. Contents of the returned slice are unspecified;
 // callers overwrite every element.
+//
+//lint:noalloc the grow-once arena resizer: it allocates only until the backing array reaches its high-water mark
 func recycled(s []Received, n int, live *int) []Received {
 	if cap(s) < n {
 		s = make([]Received, n)
@@ -362,6 +371,8 @@ func recycled(s []Received, n int, live *int) []Received {
 
 // grown returns s resized to n elements, reusing its backing array when
 // possible. Contents are unspecified; callers overwrite or clear.
+//
+//lint:noalloc the grow-once scratch resizer: it allocates only until the backing array reaches its high-water mark
 func grown[T any](s []T, n int) []T {
 	if cap(s) < n {
 		return make([]T, n)

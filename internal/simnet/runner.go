@@ -55,6 +55,8 @@ type poolTask struct {
 // startPool spawns the worker pool and arranges for its goroutines to be
 // released when the Network is garbage collected, so callers that drop a
 // concurrent Network without calling Close do not leak workers.
+//
+//lint:coldpath pool construction runs once per Network, on the first concurrent round, behind the pool == nil guard
 func (n *Network) startPool() {
 	workers := n.cfg.Workers
 	if workers <= 0 {
@@ -95,6 +97,10 @@ func newWorkerPool(workers int) *workerPool {
 	return p
 }
 
+// work is one worker's loop: park on the task channel, drain the index
+// dispenser for the dispatched phase, hit the barrier, park again.
+//
+//lint:noalloc the worker loop runs both phase bodies over recycled per-node and per-shard state
 func (p *workerPool) work() {
 	for t := range p.tasks {
 		switch t.phase {
@@ -127,6 +133,8 @@ func (p *workerPool) work() {
 // dispatch runs one barriered phase: every worker receives the task,
 // drains the shared index dispenser, and dispatch returns once all
 // workers are done.
+//
+//lint:noalloc a phase dispatch costs W channel sends of a by-value task and one barrier wait
 func (p *workerPool) dispatch(t poolTask) {
 	p.next.Store(0)
 	p.wg.Add(p.workers)
@@ -138,6 +146,8 @@ func (p *workerPool) dispatch(t poolTask) {
 
 // runRound steps every process in live on the pool and returns once all
 // results are written (the step barrier).
+//
+//lint:noalloc the step dispatch passes a by-value task over existing buffers
 func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
 	p.dispatch(poolTask{net: n, phase: phaseStep, live: live, res: res})
 }
@@ -145,6 +155,8 @@ func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
 // runRoute delivers every shard in n.shards on the pool and returns
 // once all inboxes, tallies and event buffers are written (the route
 // barrier).
+//
+//lint:noalloc the route dispatch passes a by-value task over existing buffers
 func (p *workerPool) runRoute(n *Network) {
 	p.dispatch(poolTask{net: n, phase: phaseRoute})
 }
