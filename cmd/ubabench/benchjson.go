@@ -32,15 +32,20 @@ var phaseSizes = []int{256, 512, 1024, 4096}
 type engineBenchResult struct {
 	// Name mirrors the `go test -bench` benchmark name.
 	Name string `json:"name"`
-	// Runner is "sequential" or "concurrent".
+	// Runner is "sequential" or "concurrent" for single-simulation rows
+	// and "campaign" for multi-simulation rows.
 	Runner string `json:"runner"`
 	// Phase is "step" or "route" for the phase-split benchmarks and
 	// empty for full-round rows (whose names stay stable across
 	// baseline generations).
 	Phase string `json:"phase,omitempty"`
 	// N is the system size; one op is one full round (n broadcasts,
-	// n² deliveries) or one phase of it.
+	// n² deliveries), one phase of it, or — for campaign rows — a
+	// campaignChunk-round advance of every concurrent simulation.
 	N int `json:"n"`
+	// Jobs is the number of concurrent simulations for campaign rows and
+	// 0 for single-simulation rows.
+	Jobs int `json:"jobs,omitempty"`
 	// Procs is a fixed GOMAXPROCS the row was measured under, or 0 for
 	// rows that use the host's setting (the file-level GOMAXPROCS).
 	Procs       int     `json:"procs,omitempty"`
@@ -65,6 +70,7 @@ type benchSpec struct {
 	runner string
 	phase  string // "" for full-round specs
 	n      int
+	jobs   int // concurrent simulations, 0 = single-simulation spec
 	procs  int // fixed GOMAXPROCS, 0 = host setting
 	bench  func(b *testing.B)
 }
@@ -142,6 +148,46 @@ func phaseSpec(phase, runner string, n int) benchSpec {
 	}
 }
 
+// campaignChunk is the rounds-per-op granularity of the campaign
+// benchmark, matching BenchmarkCampaign in internal/simnet so the
+// committed rows and the in-package benchmark report the same op.
+const campaignChunk = 4
+
+// campaignSpec measures aggregate campaign throughput: jobs independent
+// sequential simulations of size n multiplexed over one bounded
+// scheduler (simnet.CampaignBench). One op advances every simulation by
+// campaignChunk rounds, so with a fixed n the jobs ladder shows how
+// much concurrency the worker budget converts into throughput — and on
+// a one-core budget it certifies the scheduler's admission overhead,
+// since ns/op should then scale with jobs and nothing more.
+func campaignSpec(jobs, n int) benchSpec {
+	return benchSpec{
+		name:   fmt.Sprintf("Campaign/jobs=%d/n=%d", jobs, n),
+		runner: "campaign",
+		n:      n,
+		jobs:   jobs,
+		bench: func(b *testing.B) {
+			cb, err := simnet.NewCampaignBench(jobs, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cb.Close()
+			// Warm-up op: sizes every network's round buffers and the
+			// campaign phase's completion channel (see roundSpec).
+			if err := cb.RunChunk(campaignChunk); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cb.RunChunk(campaignChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
 // procsSpec pins GOMAXPROCS for the duration of one spec, so the
 // committed baseline carries a fixed-parallelism row that does not
 // depend on the core count of whichever machine regenerated it.
@@ -164,6 +210,9 @@ func procsSpec(spec benchSpec, procs int) benchSpec {
 // sizes the zero-alloc gate certifies (the procs=1 rung doubles as the
 // pool-overhead row — the pooled runner on one core against the
 // sequential row of the same size), and the legacy top-size row.
+// The campaign matrix — jobs {1,2,4,8} × procs {1,4,8} at the
+// perf-gate size — tracks how the shared scheduler converts worker
+// budget into aggregate multi-simulation throughput.
 func allSpecs() []benchSpec {
 	var specs []benchSpec
 	for _, runner := range []string{"sequential", "concurrent"} {
@@ -184,6 +233,11 @@ func allSpecs() []benchSpec {
 		}
 	}
 	specs = append(specs, procsSpec(roundSpec("concurrent", 8192), 4))
+	for _, jobs := range []int{1, 2, 4, 8} {
+		for _, procs := range []int{1, 4, 8} {
+			specs = append(specs, procsSpec(campaignSpec(jobs, 256), procs))
+		}
+	}
 	return specs
 }
 
@@ -198,6 +252,7 @@ func measure(spec benchSpec) (engineBenchResult, error) {
 		Runner:      spec.runner,
 		Phase:       spec.phase,
 		N:           spec.n,
+		Jobs:        spec.jobs,
 		Procs:       spec.procs,
 		Iterations:  res.N,
 		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
@@ -212,7 +267,7 @@ func measure(spec benchSpec) (engineBenchResult, error) {
 // `make bench-json` entry point.
 func runBenchJSON(outPath string, progress io.Writer) error {
 	file := engineBenchFile{
-		Description: "simnet round-engine micro-benchmarks (broadcast-heavy: one op = one round, n sends, n^2 deliveries; step/route rows isolate one phase); regenerate with `make bench-json`",
+		Description: "simnet round-engine micro-benchmarks (broadcast-heavy: one op = one round, n sends, n^2 deliveries; step/route rows isolate one phase; campaign rows advance `jobs` concurrent simulations by 4 rounds per op through the shared scheduler); regenerate with `make bench-json`",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}

@@ -14,9 +14,14 @@ import (
 // allocs/op band on those rows is the perf-trajectory counterpart of
 // the //lint:noalloc contract, so an allocation creeping back into the
 // certified route path fails the smoke even where the AllocsPerRun
-// gate is not running. Small enough to finish in seconds on a CI
-// runner, broad enough that a regression in either phase or either
-// runner moves at least one row.
+// gate is not running. The campaign row (4 concurrent simulations at
+// the perf-gate size, 4 pinned procs) covers the shared scheduler's
+// admission path the same way: its allocs/op band certifies that
+// multiplexing simulations adds no per-op allocations, and its ns/op
+// band catches a regression in the dispatch or fairness machinery.
+// Small enough to finish in seconds on a CI runner, broad enough that
+// a regression in either phase, either runner, or the campaign layer
+// moves at least one row.
 func smokeSpecs() []benchSpec {
 	var specs []benchSpec
 	for _, runner := range []string{"sequential", "concurrent"} {
@@ -28,6 +33,7 @@ func smokeSpecs() []benchSpec {
 			specs = append(specs, phaseSpec("route", runner, n))
 		}
 	}
+	specs = append(specs, procsSpec(campaignSpec(4, 256), 4))
 	return specs
 }
 

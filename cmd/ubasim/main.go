@@ -27,6 +27,7 @@ import (
 
 	"uba"
 	"uba/internal/chaos"
+	"uba/internal/simnet/sched"
 	"uba/internal/trace"
 )
 
@@ -48,8 +49,19 @@ func run(args []string, out io.Writer) error {
 	concurrent := fs.Bool("concurrent", false, "pooled concurrent runner")
 	traceRounds := fs.Int("trace", 0, "print a message transcript of the first N rounds")
 	reproPath := fs.String("repro", "", "replay a chaos repro JSON file and exit")
+	jobs := fs.Int("jobs", 0, "worker budget of the shared simulation scheduler (0 = GOMAXPROCS); output is identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0")
+	}
+	if *jobs > 0 {
+		// Bound the process-wide scheduler: every simulation in this
+		// process — the -concurrent runner's phases, a -repro replay —
+		// draws from this one budget, so jobs×workers cannot
+		// oversubscribe the machine.
+		sched.SetDefaultBudget(*jobs)
 	}
 	if *reproPath != "" {
 		return replayRepro(*reproPath, out)

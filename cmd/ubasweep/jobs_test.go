@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSweepCSVByteIdenticalAcrossJobs pins the -jobs determinism
+// contract on the CSV path: the full output stream must be
+// byte-identical for every job count, including the implicit default.
+func TestSweepCSVByteIdenticalAcrossJobs(t *testing.T) {
+	t.Parallel()
+	base := []string{
+		"-protocol", "consensus",
+		"-n", "4,7",
+		"-adversary", "silent,split",
+		"-seeds", "3",
+	}
+	var baseline bytes.Buffer
+	if err := run(append([]string{"-jobs", "1"}, base...), &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Len() == 0 {
+		t.Fatal("baseline sweep produced no output")
+	}
+	for _, jobs := range []string{"2", "5", "0"} {
+		var buf bytes.Buffer
+		if err := run(append([]string{"-jobs", jobs}, base...), &buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != baseline.String() {
+			t.Fatalf("-jobs %s output diverged from -jobs 1:\n got: %q\nwant: %q",
+				jobs, buf.String(), baseline.String())
+		}
+	}
+}
+
+// TestSweepChaosSummaryIdenticalAcrossJobs checks the chaos mode under
+// -jobs: the campaign summary line is order-insensitive and must match
+// exactly, and the per-scenario progress lines must be the same set
+// (completion order may differ — that is the documented logf contract).
+func TestSweepChaosSummaryIdenticalAcrossJobs(t *testing.T) {
+	t.Parallel()
+	base := []string{"-chaos", "-arenas", "consensus,broadcast", "-chaos-n", "7", "-seeds", "2"}
+	var baseline bytes.Buffer
+	if err := run(append([]string{"-jobs", "1"}, base...), &baseline); err != nil {
+		t.Fatalf("chaos campaign: %v\n%s", err, baseline.String())
+	}
+	sorted := func(s string) []string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				if lines[j] < lines[i] {
+					lines[i], lines[j] = lines[j], lines[i]
+				}
+			}
+		}
+		return lines
+	}
+	want := sorted(baseline.String())
+	if !strings.Contains(baseline.String(), "campaign: 4 runs, 0 violations, 0 errors") {
+		t.Fatalf("unexpected baseline summary:\n%s", baseline.String())
+	}
+	for _, jobs := range []string{"2", "5"} {
+		var buf bytes.Buffer
+		if err := run(append([]string{"-jobs", jobs}, base...), &buf); err != nil {
+			t.Fatalf("chaos campaign -jobs %s: %v\n%s", jobs, err, buf.String())
+		}
+		got := sorted(buf.String())
+		if len(got) != len(want) {
+			t.Fatalf("-jobs %s: %d lines, want %d\n%s", jobs, len(got), len(want), buf.String())
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("-jobs %s line set diverged: %q vs %q", jobs, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepRejectsNegativeJobs(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := run([]string{"-jobs", "-1"}, &buf); err == nil {
+		t.Fatal("negative -jobs accepted")
+	}
+}

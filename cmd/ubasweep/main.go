@@ -36,6 +36,7 @@ import (
 
 	"uba"
 	"uba/internal/chaos"
+	"uba/internal/simnet/sched"
 )
 
 func main() {
@@ -56,14 +57,18 @@ func run(args []string, out io.Writer) error {
 		"chaos mode: comma-separated arenas")
 	chaosN := fs.Int("chaos-n", 9, "chaos mode: system size (f = ⌊(n-1)/3⌋)")
 	reproOut := fs.String("repro-out", "", "chaos mode: write the first shrunk repro JSON here")
+	jobs := fs.Int("jobs", 0, "cells run concurrently (0 = GOMAXPROCS); output is identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *seeds <= 0 {
 		return fmt.Errorf("-seeds must be positive")
 	}
+	if *jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0")
+	}
 	if *chaosMode {
-		return runChaos(*arenaNames, *chaosN, *seeds, *reproOut, out)
+		return runChaos(*arenaNames, *chaosN, *seeds, *jobs, *reproOut, out)
 	}
 
 	ns, err := parseInts(*sizes)
@@ -88,36 +93,78 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	task := &sweepTask{protocol: *protocol}
 	for _, n := range ns {
 		if n < 2 {
 			return fmt.Errorf("n = %d too small", n)
 		}
 		f := (n - 1) / 3
-		g := n - f
 		for _, adv := range advs {
 			for seed := int64(1); seed <= int64(*seeds); seed++ {
-				cfg := uba.Config{
-					Correct: g, Byzantine: f, Adversary: adv, Seed: seed,
-				}
-				row, err := runCell(*protocol, cfg, g)
-				if err != nil {
-					return fmt.Errorf("%s n=%d adversary=%v seed=%d: %w",
-						*protocol, n, adv, seed, err)
-				}
-				record := append([]string{
-					*protocol,
-					strconv.Itoa(n),
-					strconv.Itoa(f),
-					adv.String(),
-					strconv.FormatInt(seed, 10),
-				}, row...)
-				if err := w.Write(record); err != nil {
-					return err
-				}
+				task.cells = append(task.cells, sweepCell{n: n, f: f, adv: adv, seed: seed})
 			}
 		}
 	}
+	task.rows = make([][]string, len(task.cells))
+	task.errs = make([]error, len(task.cells))
+	// The cells fan out over the process-wide simulation scheduler with
+	// at most -jobs in flight; rows are written in cell order after the
+	// barrier, so the CSV is byte-identical for every job count.
+	var phase sched.Phase
+	sched.Default().Run(&phase, task, len(task.cells), sweepJobs(*jobs))
+	for i, cell := range task.cells {
+		if err := task.errs[i]; err != nil {
+			return fmt.Errorf("%s n=%d adversary=%v seed=%d: %w",
+				*protocol, cell.n, cell.adv, cell.seed, err)
+		}
+		record := append([]string{
+			*protocol,
+			strconv.Itoa(cell.n),
+			strconv.Itoa(cell.f),
+			cell.adv.String(),
+			strconv.FormatInt(cell.seed, 10),
+		}, task.rows[i]...)
+		if err := w.Write(record); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// sweepJobs resolves the -jobs flag: 0 delegates to the scheduler's
+// budget (GOMAXPROCS by default), anything else caps in-flight cells.
+func sweepJobs(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	return sched.Default().Budget()
+}
+
+// sweepCell is one CSV row's coordinate in the n × adversary × seed
+// matrix.
+type sweepCell struct {
+	n, f int
+	adv  uba.Adversary
+	seed int64
+}
+
+// sweepTask runs sweep cells as one scheduler phase: each Run(i)
+// executes a full protocol instance and stores the row (or error) in
+// its index-owned slot.
+type sweepTask struct {
+	protocol string
+	cells    []sweepCell
+	rows     [][]string
+	errs     []error
+}
+
+func (t *sweepTask) Run(i int) {
+	cell := t.cells[i]
+	cfg := uba.Config{
+		Correct: cell.n - cell.f, Byzantine: cell.f,
+		Adversary: cell.adv, Seed: cell.seed,
+	}
+	t.rows[i], t.errs[i] = runCell(t.protocol, cfg, cell.n-cell.f)
 }
 
 // runCell executes one protocol instance and returns
@@ -211,9 +258,12 @@ var chaosArenas = map[string]chaos.Arena{
 
 // runChaos executes the chaos campaign mode: seeded coalitions per arena
 // with oracles attached, shrinking any violation to a minimal repro.
-func runChaos(arenaNames string, n, seeds int, reproOut string, out io.Writer) error {
+// jobs caps concurrent scenarios (0 = GOMAXPROCS); the report, the exit
+// status and the repro file are identical for every value.
+func runChaos(arenaNames string, n, seeds, jobs int, reproOut string, out io.Writer) error {
 	cfg := chaos.DefaultCampaign()
 	cfg.Seeds = seeds
+	cfg.Jobs = jobs
 	if n < 2 {
 		return fmt.Errorf("-chaos-n = %d too small", n)
 	}

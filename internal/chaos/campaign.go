@@ -1,6 +1,12 @@
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"uba/internal/simnet/sched"
+)
 
 // CampaignConfig describes a seeded chaos campaign: for every arena and
 // every seed, compose a coalition, run the scenario with the arena's
@@ -21,6 +27,14 @@ type CampaignConfig struct {
 	// Twin optionally swaps in a planted protocol (TwinEarlyDecide);
 	// only meaningful when Arenas is {ArenaConsensus}.
 	Twin string
+	// Jobs caps how many scenarios run concurrently; the cells are
+	// dispatched through the process-wide simulation scheduler
+	// (internal/simnet/sched), so a campaign can never oversubscribe
+	// the machine no matter how Jobs and per-network Workers multiply.
+	// 0 means GOMAXPROCS; 1 runs the campaign inline on the calling
+	// goroutine. The report is byte-identical for every value — see
+	// RunCampaign's determinism contract.
+	Jobs int
 }
 
 // DefaultCampaign is the standard smoke configuration: every arena, the
@@ -44,10 +58,12 @@ func DefaultCampaign() CampaignConfig {
 type CampaignReport struct {
 	// Runs is the number of scenarios executed.
 	Runs int `json:"runs"`
-	// Repros holds one minimized repro per violating scenario.
+	// Repros holds one minimized repro per violating scenario, in
+	// campaign order: arenas in cfg.Arenas order, seeds ascending
+	// within an arena — regardless of cfg.Jobs.
 	Repros []Repro `json:"repros,omitempty"`
 	// Errors records scenarios that failed to execute (engine errors),
-	// formatted as "arena/seed: message".
+	// formatted as "arena/seed: message", in the same campaign order.
 	Errors []string `json:"errors,omitempty"`
 }
 
@@ -56,8 +72,104 @@ func (r *CampaignReport) Clean() bool {
 	return len(r.Repros) == 0 && len(r.Errors) == 0
 }
 
-// RunCampaign executes the configured campaign. logf (optional) receives
-// one progress line per scenario. The report is deterministic in cfg.
+// campaignCell is one (arena, seed) coordinate of the campaign matrix.
+type campaignCell struct {
+	arena Arena
+	seed  int64
+}
+
+// cellResult is one cell's outcome slot. Each cell writes only its own
+// slot; RunCampaign folds the slots in cell order after the dispatch
+// barrier, which is what keeps the report independent of Jobs.
+type cellResult struct {
+	errText  string // formatted Errors entry; "" when the cell executed
+	repro    Repro
+	hasRepro bool
+}
+
+// campaignTask runs campaign cells as one scheduler phase: Run(i)
+// executes cell i — coalition plan, scenario run, shrink on violation —
+// and records the outcome in the cell's result slot. Shrink candidates
+// execute inside the cell's Run body, so they are admitted through the
+// same worker budget as everything else.
+type campaignTask struct {
+	cfg     CampaignConfig
+	cells   []campaignCell
+	results []cellResult
+
+	logMu sync.Mutex
+	logf  func(format string, args ...any)
+}
+
+// log emits one progress line under the campaign's log mutex — the
+// serialization point of the logf ordering contract (see RunCampaign).
+func (t *campaignTask) log(format string, args ...any) {
+	t.logMu.Lock()
+	defer t.logMu.Unlock()
+	t.logf(format, args...)
+}
+
+// Run executes one campaign cell. Safe for concurrent calls with
+// distinct indices: the cell's scenario, network and oracles are all
+// cell-local, and the only shared sinks are the index-owned result
+// slot and the mutex-serialized log.
+func (t *campaignTask) Run(i int) {
+	cell := t.cells[i]
+	arena, seed := cell.arena, cell.seed
+	// The coalition plan gets its own seed stream so that adding
+	// arenas or seeds never perturbs other scenarios.
+	planSeed := seed*101 + int64(arena)
+	c := NewCoalition(arena, nil, planSeed)
+	s := Scenario{
+		Arena:     arena,
+		Correct:   t.cfg.Correct,
+		Seed:      seed,
+		MaxRounds: t.cfg.MaxRounds,
+		Twin:      t.cfg.Twin,
+		Slots:     c.Plan(t.cfg.Byzantine, true),
+	}
+	out, err := Run(s)
+	if err != nil {
+		t.results[i].errText = fmt.Sprintf("%v/seed=%d: %v", arena, seed, err)
+		t.log("chaos %v seed=%d: ERROR %v", arena, seed, err)
+		return
+	}
+	if len(out.Violations) == 0 {
+		t.log("chaos %v seed=%d: clean after %d rounds", arena, seed, out.Rounds)
+		return
+	}
+	v := out.Violations[0]
+	t.log("chaos %v seed=%d: VIOLATION %s round %d — shrinking", arena, seed, v.Oracle, v.Round)
+	repro, ok := Shrink(s, v.Oracle, t.cfg.ShrinkBudget)
+	if !ok {
+		// Shrinking could not re-confirm within budget; keep the
+		// unshrunk scenario so the failure is still replayable.
+		repro = Repro{Scenario: s, Violation: v, ShrunkFrom: s}
+	}
+	t.log("chaos %v seed=%d: shrunk to g=%d f=%d rounds=%d (%d runs)",
+		arena, seed, repro.Scenario.Correct, len(repro.Scenario.Slots),
+		repro.Scenario.MaxRounds, repro.ShrinkRuns)
+	t.results[i] = cellResult{repro: repro, hasRepro: true}
+}
+
+// RunCampaign executes the configured campaign, fanning the arena×seed
+// cells out over the process-wide simulation scheduler with at most
+// cfg.Jobs cells in flight.
+//
+// Determinism contract: the report — Runs, Repros (including their
+// order) and the Errors formatting — is byte-identical for every Jobs
+// value and across repeated runs, because each cell is a deterministic
+// function of cfg and the results are folded in campaign order after
+// all cells complete.
+//
+// logf ordering contract: logf (optional) receives one progress line
+// per call, never interleaved mid-line (calls are serialized by a
+// mutex). Lines arrive in completion order — under concurrency, lines
+// from different cells may interleave — but every line carries its
+// cell's "chaos <arena> seed=<seed>:" prefix, and one cell's lines
+// always appear in its own program order (a VIOLATION line precedes
+// its shrunk line). With Jobs == 1 the completion order is the
+// campaign order, reproducing the sequential campaign's log exactly.
 func RunCampaign(cfg CampaignConfig, logf func(format string, args ...any)) (*CampaignReport, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -65,45 +177,29 @@ func RunCampaign(cfg CampaignConfig, logf func(format string, args ...any)) (*Ca
 	if cfg.Seeds < 1 || cfg.Correct < 1 || cfg.Byzantine < 0 || cfg.MaxRounds < 1 {
 		return nil, fmt.Errorf("chaos: bad campaign config %+v", cfg)
 	}
-	report := &CampaignReport{}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	task := &campaignTask{cfg: cfg, logf: logf}
 	for _, arena := range cfg.Arenas {
 		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-			// The coalition plan gets its own seed stream so that adding
-			// arenas or seeds never perturbs other scenarios.
-			planSeed := seed*101 + int64(arena)
-			c := NewCoalition(arena, nil, planSeed)
-			s := Scenario{
-				Arena:     arena,
-				Correct:   cfg.Correct,
-				Seed:      seed,
-				MaxRounds: cfg.MaxRounds,
-				Twin:      cfg.Twin,
-				Slots:     c.Plan(cfg.Byzantine, true),
-			}
-			report.Runs++
-			out, err := Run(s)
-			if err != nil {
-				report.Errors = append(report.Errors,
-					fmt.Sprintf("%v/seed=%d: %v", arena, seed, err))
-				logf("chaos %v seed=%d: ERROR %v", arena, seed, err)
-				continue
-			}
-			if len(out.Violations) == 0 {
-				logf("chaos %v seed=%d: clean after %d rounds", arena, seed, out.Rounds)
-				continue
-			}
-			v := out.Violations[0]
-			logf("chaos %v seed=%d: VIOLATION %s round %d — shrinking", arena, seed, v.Oracle, v.Round)
-			repro, ok := Shrink(s, v.Oracle, cfg.ShrinkBudget)
-			if !ok {
-				// Shrinking could not re-confirm within budget; keep the
-				// unshrunk scenario so the failure is still replayable.
-				repro = Repro{Scenario: s, Violation: v, ShrunkFrom: s}
-			}
-			logf("chaos %v seed=%d: shrunk to g=%d f=%d rounds=%d (%d runs)",
-				arena, seed, repro.Scenario.Correct, len(repro.Scenario.Slots),
-				repro.Scenario.MaxRounds, repro.ShrinkRuns)
-			report.Repros = append(report.Repros, repro)
+			task.cells = append(task.cells, campaignCell{arena: arena, seed: seed})
+		}
+	}
+	task.results = make([]cellResult, len(task.cells))
+	var phase sched.Phase
+	sched.Default().Run(&phase, task, len(task.cells), jobs)
+
+	report := &CampaignReport{Runs: len(task.cells)}
+	for i := range task.results {
+		r := &task.results[i]
+		if r.errText != "" {
+			report.Errors = append(report.Errors, r.errText)
+			continue
+		}
+		if r.hasRepro {
+			report.Repros = append(report.Repros, r.repro)
 		}
 	}
 	return report, nil

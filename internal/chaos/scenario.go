@@ -100,6 +100,11 @@ func Run(s Scenario) (*Outcome, error) {
 		}
 	}
 	net := simnet.New(simnet.Config{MaxRounds: s.MaxRounds + 1, Observer: fix.suite})
+	// Close recycles the network's round buffers through the process-wide
+	// scratch pool — in a campaign, thousands of cells (and every shrink
+	// candidate) reuse the same high-water-mark buffers instead of each
+	// re-growing them from nil.
+	defer net.Close()
 	for _, p := range fix.procs {
 		if err := net.Add(p); err != nil {
 			return nil, err

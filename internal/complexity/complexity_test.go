@@ -61,7 +61,7 @@ func TestScanFuncDirectives(t *testing.T) {
 		"noalloc (*Network).routeShardDeliver",
 		"nonblock (*Network).routeShardDeliver",
 		"nonblock (*Network).stepOne",
-		"coldpath (*Network).startPool",
+		"coldpath (*Network).releaseScratch",
 	} {
 		if !found[want] {
 			t.Errorf("scan of internal/simnet missing %q (have %d directives)", want, len(dirs))

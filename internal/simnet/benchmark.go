@@ -2,8 +2,10 @@ package simnet
 
 import (
 	"math/rand"
+	"runtime"
 
 	"uba/internal/ids"
+	"uba/internal/simnet/sched"
 	"uba/internal/trace"
 	"uba/internal/wire"
 )
@@ -75,12 +77,6 @@ func NewRoundPhases(n int, concurrent bool) (*RoundPhases, error) {
 		return nil, err
 	}
 	rp := &RoundPhases{net: net, col: col}
-	if concurrent {
-		// RouteOnly never runs a step phase, so start the pool (the
-		// step path starts it lazily) to shard delivery like a real
-		// concurrent round.
-		net.startPool()
-	}
 	// One step phase seeds the route template. The template keeps the
 	// pre-sort, pre-dedup stream, so every RouteOnly pays the full
 	// block-sort + dedup + classify + delivery cost of a live round.
@@ -130,3 +126,85 @@ func (rp *RoundPhases) RouteOnly() {
 
 // Close releases the underlying network's worker pool, if any.
 func (rp *RoundPhases) Close() { rp.net.Close() }
+
+// CampaignBench is the campaign-scale throughput fixture: jobs
+// independent sequential chatter networks multiplexed over one bounded
+// scheduler, exactly the shape chaos.RunCampaign and `ubasweep -jobs`
+// put on the engine. One RunChunk advances every simulation by a fixed
+// number of rounds through a single scheduler phase (cap = jobs), so a
+// benchmark op measures aggregate rounds across concurrent simulations,
+// including the admission/fairness cost of the scheduler itself.
+//
+// The fixture owns its scheduler (budget = GOMAXPROCS at construction)
+// rather than using sched.Default, so GOMAXPROCS-pinned benchmark rows
+// measure the budget they name instead of whatever budget the process
+// singleton was first created with. The dispatch path — Scheduler.Run
+// over a reused Phase — is the same code the campaign drivers use.
+type CampaignBench struct {
+	sched *sched.Scheduler
+	nets  []*Network
+	errs  []error
+	chunk int
+	phase sched.Phase
+}
+
+// NewCampaignBench builds jobs sequential broadcast-bench networks of n
+// chatter processes each. Failures are returned, not panicked, matching
+// the other fixtures in this file.
+func NewCampaignBench(jobs, n int) (*CampaignBench, error) {
+	cb := &CampaignBench{
+		sched: sched.New(runtime.GOMAXPROCS(0)),
+		nets:  make([]*Network, jobs),
+		errs:  make([]error, jobs),
+	}
+	for j := range cb.nets {
+		net, _, err := NewBroadcastBench(n, DefaultMaxRounds, false)
+		if err != nil {
+			cb.Close()
+			return nil, err
+		}
+		cb.nets[j] = net
+	}
+	return cb, nil
+}
+
+// Run advances one simulation by the current chunk; it is the
+// sched.Task body of the campaign phase. Each network is sequential, so
+// the rounds run inline on whichever worker (or submitter) claimed the
+// index — parallelism comes only from the campaign layer, as in a real
+// chaos campaign of sequential cells.
+func (cb *CampaignBench) Run(i int) {
+	net := cb.nets[i]
+	for r := 0; r < cb.chunk; r++ {
+		if err := net.RunRound(); err != nil {
+			cb.errs[i] = err
+			return
+		}
+	}
+}
+
+// RunChunk is one benchmark op: every simulation advances rounds rounds,
+// dispatched as one scheduler phase with at most len(nets) in flight.
+// After the first call the op is allocation-free in steady state: the
+// Phase and its completion channel are reused, and each network's round
+// buffers are already sized.
+func (cb *CampaignBench) RunChunk(rounds int) error {
+	cb.chunk = rounds
+	cb.sched.Run(&cb.phase, cb, len(cb.nets), len(cb.nets))
+	for _, err := range cb.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every network's buffers and the fixture's scheduler.
+func (cb *CampaignBench) Close() {
+	for _, net := range cb.nets {
+		if net != nil {
+			net.Close()
+		}
+	}
+	cb.sched.Close()
+}

@@ -122,9 +122,10 @@ func TestIdenticalUnicastsToDistinctReceiversBothDeliver(t *testing.T) {
 	}
 }
 
-// Close on a concurrent network releases the pool and is safe to call
-// twice; a never-concurrent network's Close is a no-op.
-func TestCloseReleasesPool(t *testing.T) {
+// Close detaches the scheduler binding, parks the round scratch in the
+// recycling pool, and is safe to call twice; a sequential network's
+// Close recycles scratch too (that is the campaign-cell fast path).
+func TestCloseReleasesSchedulerAndScratch(t *testing.T) {
 	t.Parallel()
 	net := New(Config{Concurrent: true})
 	for i := ids.ID(1); i <= 4; i++ {
@@ -133,17 +134,20 @@ func TestCloseReleasesPool(t *testing.T) {
 		}
 	}
 	mustRounds(t, net, 3)
-	if net.pool == nil {
-		t.Fatal("concurrent round did not start the worker pool")
+	if net.sched == nil {
+		t.Fatal("concurrent round did not bind the network to a scheduler")
 	}
 	net.Close()
-	if net.pool != nil {
-		t.Fatal("Close left the pool attached")
+	if net.sched != nil {
+		t.Fatal("Close left the scheduler binding attached")
+	}
+	if net.outs != nil || net.bcastBlock != nil || net.shards != nil {
+		t.Fatal("Close did not park the round scratch in the recycling pool")
 	}
 	net.Close() // idempotent
 
 	seq := New(Config{})
-	seq.Close() // no pool: no-op
+	seq.Close() // never ran a round: still safe
 }
 
 // On a worker error the concurrent merge must clear every result slot:

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"uba/internal/ids"
+	"uba/internal/simnet/sched"
 	"uba/internal/trace"
 )
 
@@ -221,18 +222,31 @@ type Network struct {
 	uniLive    int
 	shards     []routeShard
 
-	pool *workerPool // lazily started by the concurrent runner
+	// Concurrent-runner dispatch state (see runner.go): the scheduler
+	// this network submits phases to (bound lazily to sched.Default
+	// unless a test injects a private one), the reusable Phase record
+	// and phase-tagged task, and the lifecycle flags Close manages.
+	sched      *sched.Scheduler
+	ownsSched  bool
+	closed     bool
+	phase      sched.Phase
+	task       poolTask
+	scratchBox *netScratch // emptied box kept for releaseScratch (see scratch.go)
 }
 
-// New returns an empty network.
+// New returns an empty network. Its round buffers start at whatever
+// high-water mark the last Closed network parked in the scratch pool
+// (see scratch.go), so campaign cells do not re-grow them from nil.
 func New(cfg Config) *Network {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
-	return &Network{
+	n := &Network{
 		cfg:   cfg,
 		procs: make(map[ids.ID]*procState),
 	}
+	n.adoptScratch()
+	return n
 }
 
 // Add registers a correct process. It must be called before the first
@@ -461,21 +475,17 @@ func (n *Network) stepSequential() ([]send, int64, error) {
 	return outs, sends, nil
 }
 
-// stepConcurrent fans the live processes out over the persistent worker
-// pool (started on first use) and merges the per-process send buffers in
-// node order, so the resulting outs slice is byte-identical to the
-// sequential runner's.
+// stepConcurrent fans the live processes out over the shared scheduler
+// and merges the per-process send buffers in node order, so the
+// resulting outs slice is byte-identical to the sequential runner's.
 //
 //lint:noalloc the pooled step merge reuses the results table (capacity-guarded) and the recycled outs buffer
 func (n *Network) stepConcurrent() ([]send, int64, error) {
-	if n.pool == nil {
-		n.startPool()
-	}
 	if cap(n.results) < len(n.live) {
 		n.results = make([]stepResult, len(n.live))
 	}
 	results := n.results[:len(n.live)]
-	n.pool.runRound(n, n.live, results)
+	n.runStep(n.live, results)
 
 	outs := n.outs[:0]
 	n.stepEvents = n.stepEvents[:0]

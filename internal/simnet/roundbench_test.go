@@ -103,6 +103,41 @@ func BenchmarkRoutePhaseConcurrent(b *testing.B) {
 	benchPhase(b, true, func(rp *RoundPhases) error { rp.RouteOnly(); return nil })
 }
 
+// campaignChunk is how many rounds each simulation advances per
+// campaign benchmark op: enough that dispatch cost amortizes the way it
+// does in a real campaign cell, small enough that one op stays cheap.
+const campaignChunk = 4
+
+// BenchmarkCampaign measures aggregate campaign throughput: jobs
+// independent sequential simulations multiplexed over one bounded
+// scheduler. One op advances every simulation by campaignChunk rounds,
+// so rows with the same n are directly comparable — jobs× the rounds
+// for (ideally) the same wall time, up to the worker budget. `make
+// bench-json` records the jobs × GOMAXPROCS matrix in BENCH_simnet.json.
+func BenchmarkCampaign(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d/n=256", jobs), func(b *testing.B) {
+			cb, err := NewCampaignBench(jobs, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cb.Close()
+			// Warm-up op: sizes every network's round buffers and the
+			// campaign phase's completion channel (see benchRounds).
+			if err := cb.RunChunk(campaignChunk); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cb.RunChunk(campaignChunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func benchPhase(b *testing.B, concurrent bool, op func(*RoundPhases) error) {
 	for _, n := range phaseNs {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

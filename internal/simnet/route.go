@@ -95,8 +95,10 @@ func (n *Network) route(outs []send) (deliveries, bytes int64) {
 	n.routePrepare(outs)
 
 	nshards := 1
-	if n.cfg.Concurrent && n.pool != nil && n.pool.workers > 1 {
-		nshards = n.pool.workers
+	if n.cfg.Concurrent {
+		if w := n.workersCap(); w > 1 {
+			nshards = w
+		}
 	}
 	if cap(n.shards) < nshards {
 		n.shards = make([]routeShard, nshards)
@@ -114,7 +116,7 @@ func (n *Network) route(outs []send) (deliveries, bytes int64) {
 	if nshards == 1 {
 		n.routeShardDeliver(&shards[0])
 	} else {
-		n.pool.runRoute(n)
+		n.runRouteShards(nshards)
 	}
 
 	for s := range shards {

@@ -138,13 +138,14 @@ func referenceRoute(c routeCase) (inboxes [][]Received, deliveries, bytes int64)
 
 // routeOnNetwork builds a network for the case, forces the requested
 // worker count (0 = sequential single-shard), routes a copy of the
-// batch, and returns the resulting inbox views and tallies.
-func routeOnNetwork(t testing.TB, c routeCase, workers int) (inboxes []Inbox, deliveries, bytes int64) {
+// batch, and returns the network with its resulting inbox views and
+// tallies. The caller Closes the network — the views read through the
+// network's shared block and arena, which Close clears and recycles.
+func routeOnNetwork(t testing.TB, c routeCase, workers int) (net *Network, inboxes []Inbox, deliveries, bytes int64) {
 	t.Helper()
-	net := New(Config{})
+	net = New(Config{})
 	if workers > 0 {
 		net.forceWorkers(workers)
-		defer net.Close()
 	}
 	recs := make([]*recorder, len(c.nodeIDs))
 	for i, id := range c.nodeIDs {
@@ -160,7 +161,7 @@ func routeOnNetwork(t testing.TB, c routeCase, workers int) (inboxes []Inbox, de
 	for i := range c.nodeIDs {
 		inboxes[i] = net.live[i].inbox
 	}
-	return inboxes, deliveries, bytes
+	return net, inboxes, deliveries, bytes
 }
 
 // checkRouteCase routes the case through the engine and compares the
@@ -172,7 +173,8 @@ func routeOnNetwork(t testing.TB, c routeCase, workers int) (inboxes []Inbox, de
 func checkRouteCase(t testing.TB, c routeCase, workers int) {
 	t.Helper()
 	wantInboxes, wantDeliveries, wantBytes := referenceRoute(c)
-	gotInboxes, gotDeliveries, gotBytes := routeOnNetwork(t, c, workers)
+	net, gotInboxes, gotDeliveries, gotBytes := routeOnNetwork(t, c, workers)
+	defer net.Close()
 	if gotDeliveries != wantDeliveries || gotBytes != wantBytes {
 		t.Fatalf("workers=%d: tallies (%d, %d), reference (%d, %d)\ncase: %+v",
 			workers, gotDeliveries, gotBytes, wantDeliveries, wantBytes, c)

@@ -2,36 +2,28 @@ package simnet
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"uba/internal/simnet/sched"
 )
 
-// workerPool is the persistent goroutine pool behind the concurrent
-// runner. It replaces the old goroutine-per-node-per-round scheme: the
-// workers are spawned once (on the first concurrent round) and then
-// parked on a channel between rounds, so a phase costs W channel sends
-// and one barrier wait instead of n goroutine spawns.
+// This file is the concurrent runner's dispatch layer: how a Network's
+// two round phases — step-by-node and route-by-shard — become indexed
+// batches on the process-wide bounded scheduler (internal/simnet/sched).
 //
-// The pool runs both halves of a round — the step phase and the
-// routing/delivery phase — as separate barriered dispatches:
+// A Network no longer owns worker goroutines. It binds to a scheduler
+// on its first concurrent dispatch (the shared sched.Default unless a
+// test injected a private one) and submits each phase as one barriered
+// dispatch, reusing a single Phase record and a single phase-tagged
+// poolTask so the steady-state round performs no allocation. The
+// Config.Workers knob is a cap on how many shared workers may drain
+// this network's phase at once, not a reservation: a campaign running
+// many simulations keeps total parallelism at the scheduler's budget
+// no matter how many networks are in flight.
 //
-//   - Step: workers claim node indices from the shared atomic counter
-//     and write each node's sends into a per-node slot of a shared
-//     results slice. Which worker steps which node varies run to run,
-//     but the merge (stepConcurrent) reads the slots in node order, so
-//     the routed send stream is byte-identical to the sequential
-//     runner's.
-//   - Route: workers claim shard indices; each shard is a contiguous
-//     receiver range whose inboxes, contact sets, tallies and event
-//     buffer are written only by the claiming worker (route.go). The
-//     post-barrier merge reads shards in index — i.e. receiver — order,
-//     so traces and accounting are independent of worker scheduling.
-type workerPool struct {
-	tasks   chan poolTask
-	workers int
-	next    atomic.Int64   // node/shard index dispenser, reset each phase
-	wg      sync.WaitGroup // phase barrier
-}
+// Determinism is unchanged from the private-pool runner: which worker
+// runs which index varies run to run, but the step merge reads result
+// slots in node order and the route merge reads shards in receiver
+// order, so transcripts and accounting are independent of scheduling.
 
 // poolPhase selects which half of a round a dispatched task runs.
 type poolPhase uint8
@@ -41,10 +33,9 @@ const (
 	phaseRoute
 )
 
-// poolTask is one phase's work order. It is passed by value through the
-// channel and dropped by each worker before it parks again, so parked
-// workers pin the pool but not the Network — which lets the Network's
-// finalizer release an abandoned pool (see startPool).
+// poolTask is one phase's work order: the Network's sched.Task. It is
+// embedded in the Network and re-tagged per dispatch, so handing it to
+// the scheduler costs a field rewrite, never an allocation.
 type poolTask struct {
 	net   *Network
 	phase poolPhase
@@ -52,117 +43,91 @@ type poolTask struct {
 	res   []stepResult // step phase
 }
 
-// startPool spawns the worker pool and arranges for its goroutines to be
-// released when the Network is garbage collected, so callers that drop a
-// concurrent Network without calling Close do not leak workers.
+// Run executes one index of the dispatched phase: a node step into its
+// result slot, or a shard delivery. Indices are disjoint per call, and
+// both bodies write only index-owned state, so concurrent Run calls
+// never conflict.
 //
-//lint:coldpath pool construction runs once per Network, on the first concurrent round, behind the pool == nil guard
-func (n *Network) startPool() {
-	workers := n.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if len(n.live) < workers {
-			workers = len(n.live)
-		}
+//lint:noalloc both phase bodies run over recycled per-node and per-shard state
+//lint:nonblock phase bodies run to the scheduler's dispatch barrier; a blocking index would stall every job sharing the budget
+func (t *poolTask) Run(i int) {
+	switch t.phase {
+	case phaseStep:
+		t.res[i] = t.net.stepOne(t.live[i])
+	case phaseRoute:
+		t.net.routeShardDeliver(&t.net.shards[i])
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	n.pool = newWorkerPool(workers)
-	runtime.SetFinalizer(n, func(nn *Network) { nn.pool.stop() })
 }
 
-// Close releases the concurrent runner's worker goroutines. It is
-// optional — an abandoned Network's pool is released by a finalizer —
-// but deterministic: call it when the network's lifetime is known, e.g.
-// after a protocol run completes. The Network must not run further
-// rounds after Close.
+// scheduler returns the scheduler this network dispatches on, binding
+// to the process-wide default on first use. Tests inject a private
+// scheduler (with ownsSched set) to force real parallelism on any
+// host; everything else shares one budget.
+func (n *Network) scheduler() *sched.Scheduler {
+	if n.sched == nil {
+		//lint:coldpath binding to the shared scheduler runs once per Network, on its first concurrent dispatch
+		n.sched = sched.Default()
+	}
+	return n.sched
+}
+
+// workersCap is the network's concurrency cap: how many goroutines may
+// drain one of its phase dispatches at once. Config.Workers when
+// positive; otherwise GOMAXPROCS capped at the live process count.
+//
+//lint:noalloc pure arithmetic over the config, computed per dispatch
+func (n *Network) workersCap() int {
+	w := n.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if len(n.live) < w {
+			w = len(n.live)
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runStep dispatches the step phase: every process in live is stepped,
+// its result written to the node's slot of res, and runStep returns at
+// the phase barrier, after which the caller merges the slots in node
+// order.
+//
+//lint:noalloc the step dispatch re-tags the embedded task and reuses the network's Phase record
+func (n *Network) runStep(live []*procState, res []stepResult) {
+	n.task = poolTask{net: n, phase: phaseStep, live: live, res: res}
+	n.scheduler().Run(&n.phase, &n.task, len(live), n.workersCap())
+}
+
+// runRouteShards dispatches the delivery phase over n.shards[:nshards]
+// and returns at the phase barrier, after which the caller merges the
+// shards in receiver order.
+//
+//lint:noalloc the route dispatch re-tags the embedded task and reuses the network's Phase record
+func (n *Network) runRouteShards(nshards int) {
+	n.task = poolTask{net: n, phase: phaseRoute}
+	n.scheduler().Run(&n.phase, &n.task, nshards, n.workersCap())
+}
+
+// Close retires the network: a privately owned scheduler (test hook) is
+// closed, and the round-scoped scratch buffers are cleared and returned
+// to the process-wide recycling pool so the next Network — a later
+// campaign cell, often on another goroutine — starts at this one's
+// high-water mark instead of re-growing from nil. Close is idempotent;
+// the Network must not run further rounds after it. It is optional
+// (an abandoned Network is ordinary garbage — no goroutines or
+// finalizers are attached), but campaigns that run thousands of cells
+// want the buffer recycling.
 func (n *Network) Close() {
-	if n.pool == nil {
+	if n.closed {
 		return
 	}
-	runtime.SetFinalizer(n, nil)
-	n.pool.stop()
-	n.pool = nil
-}
-
-func newWorkerPool(workers int) *workerPool {
-	p := &workerPool{
-		tasks:   make(chan poolTask, workers),
-		workers: workers,
+	n.closed = true
+	if n.ownsSched && n.sched != nil {
+		n.sched.Close()
 	}
-	for w := 0; w < workers; w++ {
-		go p.work()
-	}
-	return p
-}
-
-// work is one worker's loop: park on the task channel, drain the index
-// dispenser for the dispatched phase, hit the barrier, park again.
-//
-//lint:noalloc the worker loop runs both phase bodies over recycled per-node and per-shard state
-func (p *workerPool) work() {
-	for t := range p.tasks {
-		switch t.phase {
-		case phaseStep:
-			for {
-				i := int(p.next.Add(1)) - 1
-				if i >= len(t.live) {
-					break
-				}
-				t.res[i] = t.net.stepOne(t.live[i])
-			}
-		case phaseRoute:
-			shards := t.net.shards
-			for {
-				s := int(p.next.Add(1)) - 1
-				if s >= len(shards) {
-					break
-				}
-				t.net.routeShardDeliver(&shards[s])
-			}
-		}
-		p.wg.Done()
-		// Drop the Network reference before parking so a parked worker
-		// keeps only the pool alive, not the last round's Network.
-		t = poolTask{}
-		_ = t
-	}
-}
-
-// dispatch runs one barriered phase: every worker receives the task,
-// drains the shared index dispenser, and dispatch returns once all
-// workers are done.
-//
-//lint:noalloc a phase dispatch costs W channel sends of a by-value task and one barrier wait
-func (p *workerPool) dispatch(t poolTask) {
-	p.next.Store(0)
-	p.wg.Add(p.workers)
-	for i := 0; i < p.workers; i++ {
-		p.tasks <- t
-	}
-	p.wg.Wait()
-}
-
-// runRound steps every process in live on the pool and returns once all
-// results are written (the step barrier).
-//
-//lint:noalloc the step dispatch passes a by-value task over existing buffers
-func (p *workerPool) runRound(n *Network, live []*procState, res []stepResult) {
-	p.dispatch(poolTask{net: n, phase: phaseStep, live: live, res: res})
-}
-
-// runRoute delivers every shard in n.shards on the pool and returns
-// once all inboxes, tallies and event buffers are written (the route
-// barrier).
-//
-//lint:noalloc the route dispatch passes a by-value task over existing buffers
-func (p *workerPool) runRoute(n *Network) {
-	p.dispatch(poolTask{net: n, phase: phaseRoute})
-}
-
-// stop terminates the workers. Idempotence is the caller's concern
-// (Close and the finalizer both nil/clear their references).
-func (p *workerPool) stop() {
-	close(p.tasks)
+	n.sched = nil
+	n.releaseScratch()
 }

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// This file pins the cross-job isolation contract: every simulation
+// owns its own Collector and EventLog, so a campaign running many
+// simulations concurrently (over the shared scheduler) records with no
+// shared state between jobs — each job's report and transcript must be
+// exactly what a solo run of that job produces. Run under -race this
+// doubles as the proof that concurrent jobs cannot trip each other's
+// locks or buffers.
+
+// fillCollector drives one job's worth of rounds into c; the values are
+// a deterministic function of the job index so cross-job bleed is
+// detectable, not just racy.
+func fillCollector(c *Collector, job, rounds int) {
+	for r := 1; r <= rounds; r++ {
+		base := int64(job*1000 + r)
+		c.AddRound(r, base, base+1, base+2, base+3)
+	}
+}
+
+func TestCollectorsIsolatedAcrossConcurrentJobs(t *testing.T) {
+	t.Parallel()
+	const jobs, rounds = 8, 50
+	collectors := make([]*Collector, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		collectors[j] = &Collector{}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			fillCollector(collectors[j], j, rounds)
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < jobs; j++ {
+		want := &Collector{}
+		fillCollector(want, j, rounds)
+		got, ref := collectors[j].Report(), want.Report()
+		if got.String() != ref.String() || len(got.PerRound) != len(ref.PerRound) {
+			t.Fatalf("job %d: concurrent report %v (%d rounds), solo %v (%d rounds)",
+				j, got, len(got.PerRound), ref, len(ref.PerRound))
+		}
+		for r := range ref.PerRound {
+			if got.PerRound[r] != ref.PerRound[r] {
+				t.Fatalf("job %d round %d: %+v, solo %+v", j, r, got.PerRound[r], ref.PerRound[r])
+			}
+		}
+	}
+}
+
+func TestEventLogsIsolatedAcrossConcurrentJobs(t *testing.T) {
+	t.Parallel()
+	const jobs, batches, perBatch = 8, 40, 5
+	mkBatch := func(job, b int) []Event {
+		out := make([]Event, perBatch)
+		for i := range out {
+			out[i] = Event{
+				Round: b + 1,
+				From:  uint64(job),
+				To:    uint64(i),
+				Kind:  "iso",
+				Enc:   fmt.Sprintf("job-%d-batch-%d-%d", job, b, i),
+			}
+		}
+		return out
+	}
+	logs := make([]*EventLog, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		logs[j] = NewEventLog(batches * perBatch)
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				logs[j].RecordBatch(mkBatch(j, b))
+			}
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < jobs; j++ {
+		events := logs[j].Events()
+		if len(events) != batches*perBatch {
+			t.Fatalf("job %d: %d events, want %d", j, len(events), batches*perBatch)
+		}
+		k := 0
+		for b := 0; b < batches; b++ {
+			for _, want := range mkBatch(j, b) {
+				if events[k] != want {
+					t.Fatalf("job %d event %d: %+v, want %+v", j, k, events[k], want)
+				}
+				k++
+			}
+		}
+	}
+}

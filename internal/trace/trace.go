@@ -68,6 +68,12 @@ func (r Report) String() string {
 // pooled concurrent runner can record from its workers without extra
 // coordination (the round engine itself batches via AddRound).
 // The zero value is ready to use.
+//
+// The lock is per-Collector, never process-wide, and each simulation
+// owns its own Collector — so a campaign running many simulations over
+// the shared scheduler records with zero cross-job contention: one
+// uncontended acquisition per simulation per round. Nothing in this
+// package is shared between concurrently running jobs.
 type Collector struct {
 	mu     sync.Mutex
 	report Report
