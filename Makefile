@@ -76,8 +76,14 @@ bench-sparse:
 # validity, termination, no-forged-sender). A violation is shrunk to a
 # minimal repro, written to chaos-repro.json (replay with
 # `go run ./cmd/ubasim -repro chaos-repro.json`), and fails the target.
+# The second invocation repeats the campaign under generated
+# Byzantine-scoped fault plans (partitions quarantining the coalition,
+# loss on its links, crash/recover churn): all in-model behaviors, so
+# any oracle firing there is equally a bug; its repro lands in
+# chaos-faults-repro.json.
 chaos-smoke:
 	$(GO) run ./cmd/ubasweep -chaos -seeds 25 -repro-out chaos-repro.json
+	$(GO) run ./cmd/ubasweep -chaos -faults byzantine -seeds 25 -repro-out chaos-faults-repro.json
 
 # Regenerate every experiment table (E1-E21) as text.
 experiments:

@@ -48,7 +48,11 @@ type engineBenchResult struct {
 	Jobs int `json:"jobs,omitempty"`
 	// Procs is a fixed GOMAXPROCS the row was measured under, or 0 for
 	// rows that use the host's setting (the file-level GOMAXPROCS).
-	Procs       int     `json:"procs,omitempty"`
+	Procs int `json:"procs,omitempty"`
+	// Plan is "idle" for rows measured with a fault plan attached but
+	// never live (the plan-presence cost of a healthy round), empty for
+	// plan-free rows.
+	Plan        string  `json:"plan,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -70,8 +74,9 @@ type benchSpec struct {
 	runner string
 	phase  string // "" for full-round specs
 	n      int
-	jobs   int // concurrent simulations, 0 = single-simulation spec
-	procs  int // fixed GOMAXPROCS, 0 = host setting
+	jobs   int    // concurrent simulations, 0 = single-simulation spec
+	procs  int    // fixed GOMAXPROCS, 0 = host setting
+	plan   string // "idle" for plan-presence rows, "" for plan-free rows
 	bench  func(b *testing.B)
 }
 
@@ -108,14 +113,33 @@ func roundSpec(runner string, n int) benchSpec {
 
 // phaseSpec measures one half of a round in isolation via RoundPhases.
 func phaseSpec(phase, runner string, n int) benchSpec {
+	return planPhaseSpec(phase, runner, n, false)
+}
+
+// planPhaseSpec is phaseSpec with an optional idle fault plan attached:
+// the plan schedules no events, so the row measures what plan
+// *presence* costs the phase — the route path's fault-aware branches
+// against the identical workload. Paired with the plan-free row of the
+// same shape, the delta is the whole price of Config.FaultPlan on a
+// healthy network (the zero-alloc gate pins its allocation half to 0).
+func planPhaseSpec(phase, runner string, n int, idlePlan bool) benchSpec {
 	concurrent := runner == "concurrent"
+	name := fmt.Sprintf("RoundEngine/%s/%s/n=%d", phase, runner, n)
+	var plan *simnet.FaultPlan
+	planLabel := ""
+	if idlePlan {
+		name += "/plan=idle"
+		plan = &simnet.FaultPlan{Seed: 1}
+		planLabel = "idle"
+	}
 	return benchSpec{
-		name:   fmt.Sprintf("RoundEngine/%s/%s/n=%d", phase, runner, n),
+		name:   name,
 		runner: runner,
 		phase:  phase,
 		n:      n,
+		plan:   planLabel,
 		bench: func(b *testing.B) {
-			rp, err := simnet.NewRoundPhases(n, concurrent)
+			rp, err := simnet.NewRoundPhasesPlan(n, concurrent, plan)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -204,7 +228,9 @@ func procsSpec(spec benchSpec, procs int) benchSpec {
 }
 
 // allSpecs is the full `make bench-json` sweep: round benchmarks over
-// benchSizes, then the phase split over phaseSizes, for both runners,
+// benchSizes, then the phase split over phaseSizes, for both runners
+// (with plan=idle route rows re-measuring the zero-alloc-gate sizes
+// under an attached-but-idle fault plan),
 // plus GOMAXPROCS-pinned concurrent rows so scaling under fixed
 // parallelism is tracked in-repo: a {1,4,8}-proc ladder at the two
 // sizes the zero-alloc gate certifies (the procs=1 rung doubles as the
@@ -225,6 +251,13 @@ func allSpecs() []benchSpec {
 			for _, n := range phaseSizes {
 				specs = append(specs, phaseSpec(phase, runner, n))
 			}
+		}
+	}
+	// Plan-presence rows: the route phase with an idle fault plan
+	// attached, paired with the plan-free rows above (see planPhaseSpec).
+	for _, runner := range []string{"sequential", "concurrent"} {
+		for _, n := range []int{1024, 4096} {
+			specs = append(specs, planPhaseSpec("route", runner, n, true))
 		}
 	}
 	for _, n := range []int{1024, 4096} {
@@ -254,6 +287,7 @@ func measure(spec benchSpec) (engineBenchResult, error) {
 		N:           spec.n,
 		Jobs:        spec.jobs,
 		Procs:       spec.procs,
+		Plan:        spec.plan,
 		Iterations:  res.N,
 		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 		AllocsPerOp: res.AllocsPerOp(),

@@ -14,7 +14,10 @@ import (
 // allocs/op band on those rows is the perf-trajectory counterpart of
 // the //lint:noalloc contract, so an allocation creeping back into the
 // certified route path fails the smoke even where the AllocsPerRun
-// gate is not running. The campaign row (4 concurrent simulations at
+// gate is not running. The plan=idle route rows re-pin the same band
+// with a fault plan attached but never live, so plan presence staying
+// free on a healthy round (0 allocs/op, flat ns/op) is part of the
+// smoke contract. The campaign row (4 concurrent simulations at
 // the perf-gate size, 4 pinned procs) covers the shared scheduler's
 // admission path the same way: its allocs/op band certifies that
 // multiplexing simulations adds no per-op allocations, and its ns/op
@@ -32,6 +35,7 @@ func smokeSpecs() []benchSpec {
 		for _, n := range []int{1024, 4096} {
 			specs = append(specs, phaseSpec("route", runner, n))
 		}
+		specs = append(specs, planPhaseSpec("route", runner, 1024, true))
 	}
 	specs = append(specs, procsSpec(campaignSpec(4, 256), 4))
 	return specs

@@ -218,6 +218,31 @@ func replayRepro(path string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 	}
+	if s.Faults != nil {
+		fmt.Fprintf(out, "  faults: seed=%d\n", s.Faults.Seed)
+		for _, e := range s.Faults.Events {
+			fmt.Fprintf(out, "    round %d: %s", e.Round, e.Kind)
+			if len(e.Groups) > 0 {
+				fmt.Fprintf(out, " groups=%v", e.Groups)
+			}
+			if e.Node != 0 {
+				fmt.Fprintf(out, " node=%d", e.Node)
+			}
+			if e.From != 0 {
+				fmt.Fprintf(out, " from=%d", e.From)
+			}
+			if e.To != 0 {
+				fmt.Fprintf(out, " to=%d", e.To)
+			}
+			if e.Rate != 0 {
+				fmt.Fprintf(out, " rate=%g", e.Rate)
+			}
+			if e.SendQuota != 0 || e.ByteQuota != 0 {
+				fmt.Fprintf(out, " sendQuota=%d byteQuota=%d", e.SendQuota, e.ByteQuota)
+			}
+			fmt.Fprintln(out)
+		}
+	}
 	fmt.Fprintf(out, "expected: %s at round %d: %s\n",
 		repro.Violation.Oracle, repro.Violation.Round, repro.Violation.Detail)
 	outcome, err := repro.Replay()

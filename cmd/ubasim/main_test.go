@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"uba/internal/chaos"
+	"uba/internal/ids"
+	"uba/internal/simnet"
 )
 
 func TestRunEachProtocol(t *testing.T) {
@@ -147,6 +150,96 @@ func TestRunReproReplaysShrunkViolation(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunReproReplaysFaultPlan replays a repro whose violation is
+// caused by the network — an earlydecide disagreement planted by a
+// partition, with zero Byzantine slots — and checks the fault plan is
+// both replayed and printed.
+func TestRunReproReplaysFaultPlan(t *testing.T) {
+	t.Parallel()
+	const seed, correct = 42, 6
+	all := ids.Sparse(rand.New(rand.NewSource(seed)), correct)
+	var evens, odds []uint64
+	for i, id := range all {
+		if i%2 == 0 {
+			evens = append(evens, uint64(id))
+		} else {
+			odds = append(odds, uint64(id))
+		}
+	}
+	s := chaos.Scenario{
+		Arena:     chaos.ArenaConsensus,
+		Correct:   correct,
+		Seed:      seed,
+		MaxRounds: 30,
+		Twin:      chaos.TwinEarlyDecide,
+		Faults: &simnet.FaultPlan{
+			Seed:   1,
+			Events: []simnet.FaultEvent{{Round: 2, Kind: simnet.FaultPartition, Groups: [][]uint64{evens, odds}}},
+		},
+	}
+	repro, ok := chaos.Shrink(s, "earlydecide-agreement", 200)
+	if !ok {
+		t.Fatal("shrink could not confirm the partition-planted violation")
+	}
+	data, err := chaos.EncodeRepro(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "faultrepro.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"-repro", path}, &buf); err != nil {
+		t.Fatalf("run(-repro): %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"repro: arena=consensus", "f=0",
+		"faults: seed=1", ": partition groups=",
+		"expected: earlydecide-agreement", "verdict reproduced",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunReproDiagnosesInvalidFiles is the CLI half of the repro-hygiene
+// contract: structurally invalid repro files — malformed JSON, truncated
+// files, zero-value documents, broken fault plans — exit non-zero with a
+// single-line diagnostic instead of replaying garbage.
+func TestRunReproDiagnosesInvalidFiles(t *testing.T) {
+	t.Parallel()
+	cases := map[string]string{
+		"malformed json": "{broken",
+		"not json":       "never gonna replay",
+		"zero value":     "{}",
+		"truncated": `{"scenario":{"arena":3,"correct":6,"seed":42,"max_rou`,
+		"bad fault plan": `{"scenario":{"arena":3,"correct":2,"max_rounds":5,` +
+			`"faults":{"events":[{"round":0,"kind":"heal"}]}},"violation":{"oracle":"x"}}`,
+	}
+	for name, body := range cases {
+		name, body := name, body
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(t.TempDir(), "bad.json")
+			if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			err := run([]string{"-repro", path}, &buf)
+			if err == nil {
+				t.Fatalf("invalid repro accepted:\n%s", buf.String())
+			}
+			if msg := err.Error(); strings.Contains(msg, "\n") {
+				t.Fatalf("diagnostic spans multiple lines: %q", msg)
+			}
+		})
 	}
 }
 

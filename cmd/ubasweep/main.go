@@ -20,6 +20,12 @@
 //
 //	ubasweep -chaos -seeds 8
 //	ubasweep -chaos -arenas consensus,broadcast -seeds 20 -repro-out shrunk.json
+//	ubasweep -chaos -faults byzantine -seeds 8
+//
+// With -faults byzantine every cell additionally runs under a generated
+// Byzantine-scoped fault plan (partitions quarantining the coalition,
+// loss on its links, crash/recover churn); liveness oracles degrade
+// gracefully across disrupted rounds while safety stays unconditional.
 //
 // The command exits non-zero if any oracle fired — a violation here is a
 // real bug in a protocol, an oracle, or the engine.
@@ -56,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	arenaNames := fs.String("arenas", "broadcast,rotor,consensus,approx,renaming,ordering",
 		"chaos mode: comma-separated arenas")
 	chaosN := fs.Int("chaos-n", 9, "chaos mode: system size (f = ⌊(n-1)/3⌋)")
+	faults := fs.String("faults", "", `chaos mode: fault-plan generator ("" = clean network, "byzantine" = partition/loss/churn scoped to the coalition)`)
 	reproOut := fs.String("repro-out", "", "chaos mode: write the first shrunk repro JSON here")
 	jobs := fs.Int("jobs", 0, "cells run concurrently (0 = GOMAXPROCS); output is identical for every value")
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +75,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-jobs must be >= 0")
 	}
 	if *chaosMode {
-		return runChaos(*arenaNames, *chaosN, *seeds, *jobs, *reproOut, out)
+		return runChaos(*arenaNames, *chaosN, *seeds, *jobs, *faults, *reproOut, out)
+	}
+	if *faults != "" {
+		return fmt.Errorf("-faults requires -chaos")
 	}
 
 	ns, err := parseInts(*sizes)
@@ -259,11 +269,19 @@ var chaosArenas = map[string]chaos.Arena{
 // runChaos executes the chaos campaign mode: seeded coalitions per arena
 // with oracles attached, shrinking any violation to a minimal repro.
 // jobs caps concurrent scenarios (0 = GOMAXPROCS); the report, the exit
-// status and the repro file are identical for every value.
-func runChaos(arenaNames string, n, seeds, jobs int, reproOut string, out io.Writer) error {
+// status and the repro file are identical for every value. faults
+// selects the campaign's fault-plan generator ("" or "byzantine").
+func runChaos(arenaNames string, n, seeds, jobs int, faults, reproOut string, out io.Writer) error {
 	cfg := chaos.DefaultCampaign()
 	cfg.Seeds = seeds
 	cfg.Jobs = jobs
+	switch faults {
+	case "":
+	case chaos.FaultsByzantine:
+		cfg.Faults = chaos.FaultsByzantine
+	default:
+		return fmt.Errorf("unknown -faults generator %q (want \"\" or %q)", faults, chaos.FaultsByzantine)
+	}
 	if n < 2 {
 		return fmt.Errorf("-chaos-n = %d too small", n)
 	}

@@ -8,6 +8,11 @@ import (
 	"uba/internal/simnet/sched"
 )
 
+// FaultsByzantine names the Byzantine-scoped fault-plan generator for
+// CampaignConfig.Faults (and the CLI -faults flags): every cell runs
+// under a PlanFaults partition/loss/churn schedule.
+const FaultsByzantine = "byzantine"
+
 // CampaignConfig describes a seeded chaos campaign: for every arena and
 // every seed, compose a coalition, run the scenario with the arena's
 // oracle suite attached, and shrink any violation to a minimal repro.
@@ -27,6 +32,10 @@ type CampaignConfig struct {
 	// Twin optionally swaps in a planted protocol (TwinEarlyDecide);
 	// only meaningful when Arenas is {ArenaConsensus}.
 	Twin string
+	// Faults selects the campaign's fault-plan generator: "" runs with
+	// a clean network, FaultsByzantine attaches a Byzantine-scoped
+	// partition/loss/churn plan (PlanFaults) to every cell.
+	Faults string
 	// Jobs caps how many scenarios run concurrently; the cells are
 	// dispatched through the process-wide simulation scheduler
 	// (internal/simnet/sched), so a campaign can never oversubscribe
@@ -127,6 +136,9 @@ func (t *campaignTask) Run(i int) {
 		MaxRounds: t.cfg.MaxRounds,
 		Twin:      t.cfg.Twin,
 		Slots:     c.Plan(t.cfg.Byzantine, true),
+	}
+	if t.cfg.Faults == FaultsByzantine {
+		s.Faults = PlanFaults(s)
 	}
 	out, err := Run(s)
 	if err != nil {

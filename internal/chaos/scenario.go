@@ -41,6 +41,13 @@ type Scenario struct {
 	Twin string `json:"twin,omitempty"`
 	// Slots is the Byzantine coalition plan, one spec per slot.
 	Slots []SlotSpec `json:"slots,omitempty"`
+	// Faults optionally schedules deterministic network faults for the
+	// run — partitions, link loss, crash/recover churn (see
+	// simnet.FaultPlan). When set, the liveness oracles are wrapped for
+	// graceful degradation (oracle.NewDegraded): disrupted rounds are
+	// not charged against termination bounds, while agreement and the
+	// other safety oracles stay unconditional.
+	Faults *simnet.FaultPlan `json:"faults,omitempty"`
 }
 
 // Outcome is what a scenario run produced.
@@ -99,7 +106,13 @@ func Run(s Scenario) (*Outcome, error) {
 			fix.suite.Add(co)
 		}
 	}
-	net := simnet.New(simnet.Config{MaxRounds: s.MaxRounds + 1, Observer: fix.suite})
+	if s.Faults != nil && len(s.Faults.Events) > 0 {
+		// Liveness bounds measure rounds of usable network: suspend
+		// them while the plan disrupts the network and for a short
+		// recovery window after. Safety oracles stay unconditional.
+		fix.suite.Wrap(degradeLiveness)
+	}
+	net := simnet.New(simnet.Config{MaxRounds: s.MaxRounds + 1, Observer: fix.suite, FaultPlan: s.Faults})
 	// Close recycles the network's round buffers through the process-wide
 	// scratch pool — in a campaign, thousands of cells (and every shrink
 	// candidate) reuse the same high-water-mark buffers instead of each

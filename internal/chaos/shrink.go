@@ -3,8 +3,10 @@ package chaos
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 
 	"uba/internal/oracle"
+	"uba/internal/simnet"
 )
 
 // Repro is a self-contained, replayable description of an oracle
@@ -32,13 +34,50 @@ func EncodeRepro(r Repro) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
-// DecodeRepro parses a repro file.
+// DecodeRepro parses and validates a repro file. Structurally invalid
+// repros — truncated files, zero-value {} documents, unknown arenas,
+// malformed fault plans — are rejected with a diagnostic instead of
+// being replayed as a meaningless empty run.
 func DecodeRepro(data []byte) (Repro, error) {
 	var r Repro
 	if err := json.Unmarshal(data, &r); err != nil {
 		return Repro{}, fmt.Errorf("chaos: bad repro file: %w", err)
 	}
+	if err := r.Validate(); err != nil {
+		return Repro{}, err
+	}
 	return r, nil
+}
+
+// Validate checks a repro is structurally replayable.
+func (r *Repro) Validate() error {
+	if r.Violation.Oracle == "" {
+		return fmt.Errorf("chaos: repro names no violation oracle (empty or truncated repro file?)")
+	}
+	if err := validateScenario(&r.Scenario); err != nil {
+		return fmt.Errorf("chaos: invalid repro scenario: %w", err)
+	}
+	return nil
+}
+
+// validateScenario checks the structural invariants Run would otherwise
+// fail on round by round, so a broken repro is diagnosed up front.
+func validateScenario(s *Scenario) error {
+	if s.Arena < ArenaBroadcast || s.Arena > ArenaOrdering {
+		return fmt.Errorf("unknown arena %d", int(s.Arena))
+	}
+	if s.Correct < 1 {
+		return fmt.Errorf("needs at least one correct node, got %d", s.Correct)
+	}
+	if s.MaxRounds < 1 {
+		return fmt.Errorf("needs MaxRounds >= 1, got %d", s.MaxRounds)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Replay re-runs the minimized scenario and reports whether the recorded
@@ -55,12 +94,16 @@ func (r Repro) Replay() (*Outcome, error) {
 }
 
 // Shrink delta-debugs a violating scenario to a smaller one that still
-// fires the same oracle. It is a greedy fixpoint over four reduction
+// fires the same oracle. It is a greedy fixpoint over six reduction
 // passes — drop Byzantine slots, simplify surviving slots to silence,
 // shrink the number of correct nodes, shrink the round budget to the
-// violation round — re-running the scenario after each candidate edit
-// (determinism makes a single re-run a proof). budget caps the total
-// number of candidate runs; the initial confirmation run also counts.
+// violation round, drop fault-plan events, simplify surviving fault
+// events (rates to zero, partitions collapsed, heals pulled earlier) —
+// re-running the scenario after each candidate edit (determinism makes
+// a single re-run a proof; fault rolls are stateless hashes, so
+// removing one fault event never re-rolls the others). budget caps the
+// total number of candidate runs; the initial confirmation run also
+// counts.
 //
 // The returned Repro always reproduces: if the initial run does not fire
 // the named oracle (or budget is exhausted before confirmation), Shrink
@@ -126,6 +169,67 @@ func Shrink(s Scenario, oracleName string, budget int) (Repro, bool) {
 				cur, best, changed = cand, v, true
 			}
 		}
+		// Pass 5: drop fault-plan events one at a time; an emptied plan
+		// becomes no plan at all.
+		for i := 0; cur.Faults != nil && i < len(cur.Faults.Events); {
+			cand := cur
+			cand.Faults = cur.Faults.Clone()
+			cand.Faults.Events = slices.Delete(cand.Faults.Events, i, i+1)
+			if len(cand.Faults.Events) == 0 {
+				cand.Faults = nil
+			}
+			if v, ok := try(cand); ok {
+				cur, best, changed = cand, v, true
+			} else {
+				i++
+			}
+		}
+		// Pass 6: simplify surviving fault events — zero a rate rule,
+		// collapse a partition to one group, pull a heal earlier.
+		for i := 0; cur.Faults != nil && i < len(cur.Faults.Events); i++ {
+			switch e := cur.Faults.Events[i]; e.Kind {
+			case simnet.FaultDrop, simnet.FaultDuplicate, simnet.FaultReorder, simnet.FaultCorrupt:
+				if e.Rate == 0 {
+					continue
+				}
+				cand := editFault(cur, i, func(ev *simnet.FaultEvent) { ev.Rate = 0 })
+				if v, ok := try(cand); ok {
+					cur, best, changed = cand, v, true
+				}
+			case simnet.FaultPartition:
+				if len(e.Groups) < 2 {
+					continue
+				}
+				cand := editFault(cur, i, func(ev *simnet.FaultEvent) {
+					merged := []uint64{}
+					for _, g := range ev.Groups {
+						merged = append(merged, g...)
+					}
+					ev.Groups = [][]uint64{merged}
+				})
+				if v, ok := try(cand); ok {
+					cur, best, changed = cand, v, true
+				}
+			case simnet.FaultHeal:
+				for cur.Faults.Events[i].Round > 1 {
+					cand := editFault(cur, i, func(ev *simnet.FaultEvent) { ev.Round-- })
+					v, ok := try(cand)
+					if !ok {
+						break
+					}
+					cur, best, changed = cand, v, true
+				}
+			}
+		}
 	}
 	return Repro{Scenario: cur, Violation: best, ShrunkFrom: s, ShrinkRuns: runs}, true
+}
+
+// editFault returns a candidate scenario with one fault event edited on
+// a deep-copied plan (the original stays untouched for later passes).
+func editFault(s Scenario, i int, edit func(*simnet.FaultEvent)) Scenario {
+	cand := s
+	cand.Faults = s.Faults.Clone()
+	edit(&cand.Faults.Events[i])
+	return cand
 }

@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestFaultPlanSoak is the metamorphic robustness sweep (satellite of
+// the fault-injection layer): every protocol family, under generated
+// Byzantine-scoped fault plans — partition/heal cycles quarantining the
+// coalition, loss on its links, crash/recover churn — across enough
+// seeds that the total run count exceeds 200. The property is
+// metamorphic: these faults are all behaviors the adversary model
+// already allows, so a protocol that is correct against f Byzantine
+// nodes must stay correct under them, and any oracle firing is a bug —
+// either in a protocol, in an oracle's degradation wrapping, or in the
+// fault engine itself. Spurious terminations are what the degradation
+// layer (oracle.NewDegraded) exists to absorb; this test is the proof
+// it absorbs them without muting real violations (the planted-bug
+// tests in fault_test.go cover that direction).
+func TestFaultPlanSoak(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("fault-plan soak skipped in -short")
+	}
+	cfg := DefaultCampaign() // all six arenas
+	cfg.Seeds = 34           // 6 arenas x 34 seeds = 204 runs
+	cfg.Faults = FaultsByzantine
+	report, err := RunCampaign(cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Runs < 200 {
+		t.Fatalf("soak ran %d scenarios, want >= 200", report.Runs)
+	}
+	if !report.Clean() {
+		for _, r := range report.Repros {
+			t.Errorf("spurious violation under in-model faults: %+v\n  scenario: %+v\n  faults: %+v",
+				r.Violation, r.Scenario, r.Scenario.Faults)
+		}
+		for _, e := range report.Errors {
+			t.Errorf("error: %s", e)
+		}
+	}
+}

@@ -37,6 +37,10 @@ func (c *ChatterProcess) Step(env *RoundEnv) {
 // Errors are returned, not panicked, so a campaign driver embedding the
 // fixture can fail one cell without killing the process.
 func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Collector, error) {
+	return newBroadcastBench(n, maxRounds, concurrent, nil)
+}
+
+func newBroadcastBench(n, maxRounds int, concurrent bool, plan *FaultPlan) (*Network, *trace.Collector, error) {
 	rng := rand.New(rand.NewSource(1))
 	nodeIDs := ids.Sparse(rng, n)
 	col := &trace.Collector{}
@@ -44,6 +48,7 @@ func NewBroadcastBench(n, maxRounds int, concurrent bool) (*Network, *trace.Coll
 		MaxRounds:  maxRounds,
 		Concurrent: concurrent,
 		Collector:  col,
+		FaultPlan:  plan,
 	})
 	for _, id := range nodeIDs {
 		if err := net.Add(&ChatterProcess{Ident: id}); err != nil {
@@ -72,7 +77,20 @@ type RoundPhases struct {
 // plus a frozen template of one round's sends for RouteOnly. Like
 // NewBroadcastBench, failures are returned rather than panicked.
 func NewRoundPhases(n int, concurrent bool) (*RoundPhases, error) {
-	net, col, err := NewBroadcastBench(n, DefaultMaxRounds, concurrent)
+	return NewRoundPhasesPlan(n, concurrent, nil)
+}
+
+// NewRoundPhasesPlan is NewRoundPhases with a fault plan attached to
+// the underlying network. With an idle plan (non-nil but scheduling no
+// events for the measured rounds) the fixture measures the cost of plan
+// *presence* alone: the route path takes its fault-aware branches —
+// scratch resets, the keyed copy loop — but no rule ever goes live, so
+// the row isolates what attaching a plan costs a healthy round. The
+// perf-smoke plan rows and the zero-alloc gate both certify that cost
+// stays allocation-free; a nil plan compiles the plan machinery away
+// entirely (see Config.FaultPlan).
+func NewRoundPhasesPlan(n int, concurrent bool, plan *FaultPlan) (*RoundPhases, error) {
+	net, col, err := newBroadcastBench(n, DefaultMaxRounds, concurrent, plan)
 	if err != nil {
 		return nil, err
 	}

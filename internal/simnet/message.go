@@ -101,6 +101,11 @@ type Received struct {
 	// encoded is the canonical encoding, retained for deterministic
 	// ordering and duplicate filtering.
 	encoded string
+	// bcast marks a delivery that was part of a broadcast fan-out. It
+	// is carried on the value (not derived from which arena holds it)
+	// because fault-plan rounds demote broadcasts into per-receiver
+	// arena entries; the transcript's Broadcast flag must survive that.
+	bcast bool
 }
 
 // Size returns the encoded size of the message in bytes.

@@ -76,6 +76,13 @@ type Config struct {
 	// node may queue in one round, with the same deterministic policy:
 	// the longest prefix of the send queue within the budget survives.
 	ByteQuota int64
+	// FaultPlan, when non-nil, schedules deterministic round-timed
+	// faults — partitions, link drop/duplicate/corrupt/reorder rules,
+	// crash/recover churn, late joins, quota changes (see fault.go).
+	// An invalid plan latches as the network's error, surfaced by the
+	// first RunRound. A nil plan compiles to the unmodified zero-alloc
+	// round path.
+	FaultPlan *FaultPlan
 }
 
 // RoundObserver receives each completed round's trace events — the
@@ -132,11 +139,16 @@ type procState struct {
 	// block-local route sort relies on.
 	id        ids.ID
 	byzantine bool
-	// crashed marks a node whose Step panicked: the engine contained
-	// the panic and converted the node into a crash fault. A crashed
-	// node is never stepped again and receives no further messages.
+	// crashed marks a node whose Step panicked (the engine contained
+	// the panic and converted the node into a crash fault) or that a
+	// fault plan crashed on schedule. A crashed node is not stepped and
+	// receives no messages; only a fault-plan recover event clears it.
 	crashed bool
-	inbox   Inbox
+	// joinRound, when positive, marks a fault-plan late participant:
+	// while joinRound > the current round the node neither steps nor
+	// receives anything.
+	joinRound int
+	inbox     Inbox
 	// contacts is the set of nodes that have delivered a message to
 	// this process, used for the contact rule. It is nil (and not
 	// maintained) unless Config.EnforceContactRule is set.
@@ -202,6 +214,10 @@ type Network struct {
 	stepEvents  []trace.Event
 	roundEvents []trace.Event
 
+	// faults is the compiled Config.FaultPlan, nil for fault-free runs
+	// (the certified hot path checks this one pointer and nothing else).
+	faults *faultState
+
 	// Routing scratch (see route.go): the done snapshot, the surviving
 	// broadcast indices, the per-receiver unicast buckets, the shared
 	// broadcast block and unicast arena the inbox views read through,
@@ -245,6 +261,13 @@ func New(cfg Config) *Network {
 		cfg:   cfg,
 		procs: make(map[ids.ID]*procState),
 	}
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(); err != nil {
+			n.err = fmt.Errorf("simnet: invalid fault plan: %w", err)
+		} else {
+			n.faults = newFaultState(cfg.FaultPlan)
+		}
+	}
 	n.adoptScratch()
 	return n
 }
@@ -271,6 +294,9 @@ func (n *Network) add(p Process, byzantine bool) error {
 		proc:      p,
 		id:        id,
 		byzantine: byzantine,
+	}
+	if n.faults != nil {
+		st.joinRound = n.faults.joinAt[id]
 	}
 	if n.cfg.EnforceContactRule {
 		st.contacts = make(map[ids.ID]struct{})
@@ -338,6 +364,12 @@ func (n *Network) RunRound() error {
 		return n.err
 	}
 	n.round++
+	if n.faults != nil {
+		// Plan events apply before stepping, on this goroutine, so
+		// crash/recover/join/quota effects are visible to every runner
+		// identically and their trace events head the round's record.
+		n.applyFaultEvents()
+	}
 
 	var outs []send
 	var err error
@@ -351,6 +383,9 @@ func (n *Network) RunRound() error {
 		return err
 	}
 	if n.cfg.EventLog != nil {
+		if n.faults != nil {
+			n.cfg.EventLog.RecordBatch(n.faults.planEvents)
+		}
 		n.cfg.EventLog.RecordBatch(n.stepEvents)
 	}
 	var statsObs RoundStatsObserver
@@ -438,18 +473,21 @@ func (n *Network) foldCorrectMax(acct *RoundAccounting, from ids.ID, b, u int) {
 //
 //lint:noalloc appends land in recycled round scratch; in a fault-free steady state both branches are untaken
 func (n *Network) noteResult(st *procState, res *stepResult) {
+	// Quota-drop precedes node-crashed: a node that both exceeded its
+	// quota and panicked in the same round violated the quota first
+	// (while still running), then died.
+	if res.dropped > 0 {
+		n.stepEvents = append(n.stepEvents, trace.Event{
+			Round: n.round, From: uint64(st.id), Kind: trace.KindQuotaDrop,
+			Size: res.dropped,
+		})
+	}
 	if res.crashed {
 		n.crashes = append(n.crashes, CrashRecord{
 			Node: st.id, Round: n.round, Reason: res.crashReason,
 		})
 		n.stepEvents = append(n.stepEvents, trace.Event{
 			Round: n.round, From: uint64(st.id), Kind: trace.KindNodeCrashed,
-		})
-	}
-	if res.dropped > 0 {
-		n.stepEvents = append(n.stepEvents, trace.Event{
-			Round: n.round, From: uint64(st.id), Kind: trace.KindQuotaDrop,
-			Size: res.dropped,
 		})
 	}
 }
@@ -528,7 +566,7 @@ func (n *Network) stepOne(st *procState) stepResult {
 	// unicast arena, which route() overwrites wholesale next round —
 	// this is what forbids Process.Step from retaining env.Inbox.
 	st.inbox = Inbox{}
-	if st.crashed || st.proc.Done() {
+	if st.crashed || st.joinRound > n.round || st.proc.Done() {
 		return stepResult{}
 	}
 	st.env = RoundEnv{
@@ -545,12 +583,18 @@ func (n *Network) stepOne(st *procState) stepResult {
 		// Deterministic crash conversion: the crashing round produces
 		// nothing (its partial send queue is discarded) and the node is
 		// silent and unreachable from here on — a fail-stop fault, the
-		// strongest containment the model offers. Clear the discarded
-		// queue so the dead node cannot pin payloads forever.
+		// strongest containment the model offers. A quota violation the
+		// node committed before dying is still accounted (the transcript
+		// shows the drop, then the crash). Clear the discarded queue so
+		// the dead node cannot pin payloads forever.
+		var dropped int
+		if n.cfg.SendQuota > 0 || n.cfg.ByteQuota > 0 {
+			_, dropped = n.applyQuota(sends)
+		}
 		clear(sends)
 		st.sendBuf = sends[:0]
 		st.crashed = true
-		return stepResult{crashed: true, crashReason: reason}
+		return stepResult{crashed: true, crashReason: reason, dropped: dropped}
 	}
 	var dropped int
 	if n.cfg.SendQuota > 0 || n.cfg.ByteQuota > 0 {

@@ -124,16 +124,27 @@ func (n *Network) route(outs []send) (deliveries, bytes int64) {
 		bytes += shards[s].bytes
 	}
 	if n.cfg.EventLog != nil {
+		if n.faults != nil {
+			n.cfg.EventLog.RecordBatch(n.faults.linkEvents)
+		}
 		for s := range shards {
 			n.cfg.EventLog.RecordBatch(shards[s].events)
 		}
 	}
 	if n.cfg.Observer != nil {
-		// Assemble the round's observer view: containment events first
-		// (node order, from the step merge), then deliveries in shard —
+		// Assemble the round's observer view in the canonical record
+		// order: fault-plan events (plan order), containment events
+		// (node order, from the step merge), link-fault events (send
+		// order, from the serial filter), then deliveries in shard —
 		// i.e. receiver — order: the same order the EventLog records.
 		ev := n.roundEvents[:0]
+		if n.faults != nil {
+			ev = append(ev, n.faults.planEvents...)
+		}
 		ev = append(ev, n.stepEvents...)
+		if n.faults != nil {
+			ev = append(ev, n.faults.linkEvents...)
+		}
 		for s := range shards {
 			ev = append(ev, shards[s].events...)
 		}
@@ -173,8 +184,17 @@ func (n *Network) routePrepare(outs []send) {
 	n.doneMask = grown(n.doneMask, nl)
 	for i, st := range n.live {
 		// Crash faults are unreachable: containment means a crashed
-		// node receives nothing, exactly like a halted one.
-		n.doneMask[i] = st.crashed || st.proc.Done()
+		// node receives nothing, exactly like a halted one. Fault-plan
+		// late joiners receive nothing before their join round.
+		n.doneMask[i] = st.crashed || st.joinRound > n.round || st.proc.Done()
+	}
+	if n.faults != nil {
+		// Round-scoped fault scratch: stale link events or corrupted
+		// copies from the previous fault round must not leak into this
+		// one (clear drops the payload references they pin).
+		clear(n.faults.corrupted)
+		n.faults.corrupted = n.faults.corrupted[:0]
+		n.faults.linkEvents = n.faults.linkEvents[:0]
 	}
 
 	// (3) Dedup + classify. Same duplicate rules as the old send-major
@@ -226,6 +246,15 @@ func (n *Network) routePrepare(outs []send) {
 	}
 	n.bcastDigests, n.bcastEncs = bd, be
 
+	if n.faults != nil && n.faults.linkLive {
+		// (3b) Link-fault filter: rewrite the classified stream under
+		// the live partition/rate rules (see fault.go). Broadcasts are
+		// demoted to per-receiver unicast entries in send-index order,
+		// so the bucket order below reproduces the merge order exactly.
+		//lint:coldpath the filter runs only on rounds with a live fault rule; the certified path never reaches it
+		n.faultFilter(outs)
+	}
+
 	// (4) Bucket unicasts per receiver (stable counting sort: within a
 	// bucket, send order — and therefore the sorted order — is kept).
 	n.uniStart = grown(n.uniStart, nl+1)
@@ -243,6 +272,12 @@ func (n *Network) routePrepare(outs []send) {
 		n.uniIdx[n.uniCursor[r]] = n.uniSend[j]
 		n.uniCursor[r]++
 	}
+	if n.faults != nil && n.faults.linkLive {
+		// (4b) Within-round reorder faults permute receiver buckets
+		// before materialization, so inboxes and transcript pick the
+		// shuffle up with no further changes.
+		n.faultReorder()
+	}
 
 	// (5) Sparse materialization: copy the surviving broadcasts once
 	// into the shared block and the surviving unicasts once into the
@@ -256,15 +291,25 @@ func (n *Network) routePrepare(outs []send) {
 	var bbytes int64
 	for j, k := range n.bcastIdx {
 		s := &outs[k]
-		n.bcastBlock[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
+		n.bcastBlock[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded, bcast: true}
 		bbytes += int64(len(s.encoded))
 	}
 	n.bcastBytes = bbytes
 	nu := len(n.uniIdx)
 	n.uniArena = recycled(n.uniArena, nu, &n.uniLive)
-	for j, k := range n.uniIdx {
-		s := &outs[k]
-		n.uniArena[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
+	if n.faults == nil {
+		for j, k := range n.uniIdx {
+			s := &outs[k]
+			n.uniArena[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded}
+		}
+	} else {
+		// Fault-plan variant of the same copy loop: keys may address
+		// the corrupted side buffer, and demoted broadcasts keep their
+		// Broadcast transcript flag via Received.bcast.
+		for j, k := range n.uniIdx {
+			s := n.sendAt(outs, k)
+			n.uniArena[j] = Received{From: s.from, Payload: s.payload, encoded: s.encoded, bcast: s.to == ids.None}
+		}
 	}
 }
 
@@ -322,11 +367,9 @@ func (n *Network) routeShardDeliver(sh *routeShard) {
 		bi, ui := 0, ulo
 		for bi < nb || ui < uhi {
 			var m Received
-			var isBcast bool
 			if ui >= uhi || (bi < nb && n.bcastIdx[bi] < n.uniIdx[ui]) {
 				m = n.bcastBlock[bi]
 				bi++
-				isBcast = true
 			} else {
 				m = n.uniArena[ui]
 				ui++
@@ -342,7 +385,7 @@ func (n *Network) routeShardDeliver(sh *routeShard) {
 					To:        uint64(st.id),
 					Kind:      m.Payload.Kind().String(),
 					Size:      len(m.encoded),
-					Broadcast: isBcast,
+					Broadcast: m.bcast,
 					Enc:       m.encoded,
 				})
 			}

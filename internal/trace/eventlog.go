@@ -28,20 +28,58 @@ type Event struct {
 	// Enc is the canonical wire encoding of the delivered payload,
 	// shared with the engine's send buffers (a string header, not a
 	// copy). It lets online monitors (internal/oracle) decode message
-	// contents without re-capturing traffic. Empty for engine events.
+	// contents without re-capturing traffic. Empty for most engine
+	// events; fault-plan events may carry a short textual detail here
+	// (partition group membership, new quota values).
 	Enc string
 }
 
-// Engine event kinds recorded by the fault-containment layer, reserved
-// names that no wire payload uses (see wire.Kind.String).
+// Engine event kinds recorded by the fault-containment layer and the
+// fault-plan scheduler, reserved names that no wire payload uses (see
+// wire.Kind.String).
 const (
 	// KindNodeCrashed records that a node's Step panicked and the
-	// engine converted it into a crash fault: the node is silent and
-	// receives nothing from that round on.
+	// engine converted it into a crash fault — or that a fault plan
+	// crashed it on schedule: the node is silent and receives nothing
+	// until (plan crashes only) a recover event revives it.
 	KindNodeCrashed = "node-crashed"
 	// KindQuotaDrop records that a node exceeded its per-round send or
 	// byte quota; Size carries the number of dropped sends.
 	KindQuotaDrop = "quota-drop"
+	// KindPartition records one group of a fault-plan partition taking
+	// effect: From is the group index, Size the group population, and
+	// Enc the comma-joined member ids. One event per group; nodes in no
+	// group are isolated.
+	KindPartition = "partition"
+	// KindHeal records a fault-plan partition healing: full
+	// connectivity is restored from this round on.
+	KindHeal = "heal"
+	// KindLinkDrop records one message removed from the send stream by
+	// a fault-plan drop rule (or a corrupt rule whose mutation no
+	// longer decodes); Size is the encoded size of the lost message.
+	// Rule activations also use this kind, with Enc carrying "rate=…".
+	KindLinkDrop = "link-drop"
+	// KindLinkCorrupt records a fault-plan corruption: the delivered
+	// encoding differs from the sent one by a deterministic byte flip.
+	KindLinkCorrupt = "link-corrupt"
+	// KindLinkDup records a fault-plan duplicate: the receiver sees the
+	// same message twice within one round, violating (deliberately) the
+	// engine's dedup model rule.
+	KindLinkDup = "link-dup"
+	// KindLinkReorder records a fault-plan shuffle of one receiver's
+	// within-round inbox order; To is the receiver, Size the number of
+	// messages shuffled.
+	KindLinkReorder = "link-reorder"
+	// KindNodeJoined records a late participant activating at its fault
+	// plan join round; before it the node neither steps nor receives.
+	KindNodeJoined = "node-joined"
+	// KindNodeRecovered records a fault plan reviving a plan-crashed
+	// node; it resumes stepping with an empty inbox.
+	KindNodeRecovered = "node-recovered"
+	// KindQuotaChange records a fault plan overwriting the per-round
+	// send/byte quotas; Size is the new send quota and Enc carries both
+	// values.
+	KindQuotaChange = "quota-change"
 )
 
 // EventLog records a message-level transcript of a run — the debugging
@@ -175,6 +213,41 @@ func (l *EventLog) Render(w io.Writer, maxRounds int) error {
 			continue
 		case KindQuotaDrop:
 			if _, err := fmt.Fprintf(w, "  %d !! quota exceeded (%d sends dropped)\n", k.from, g.bytes); err != nil {
+				return err
+			}
+			continue
+		case KindPartition:
+			if _, err := fmt.Fprintf(w, "  !! partition group %d (%d nodes)\n", k.from, g.bytes); err != nil {
+				return err
+			}
+			continue
+		case KindHeal:
+			if _, err := fmt.Fprintln(w, "  !! partition healed"); err != nil {
+				return err
+			}
+			continue
+		case KindLinkDrop, KindLinkCorrupt, KindLinkDup:
+			if _, err := fmt.Fprintf(w, "  %d ~x~ %-18s x%d %dB\n", k.from, k.kind, g.receivers, g.bytes); err != nil {
+				return err
+			}
+			continue
+		case KindLinkReorder:
+			if _, err := fmt.Fprintf(w, "  -> %d ~~ inbox reordered (%d msgs)\n", g.firstTo, g.bytes); err != nil {
+				return err
+			}
+			continue
+		case KindNodeJoined:
+			if _, err := fmt.Fprintf(w, "  %d ++ joined\n", k.from); err != nil {
+				return err
+			}
+			continue
+		case KindNodeRecovered:
+			if _, err := fmt.Fprintf(w, "  %d !! recovered\n", k.from); err != nil {
+				return err
+			}
+			continue
+		case KindQuotaChange:
+			if _, err := fmt.Fprintf(w, "  !! quota change (send=%d)\n", g.bytes); err != nil {
 				return err
 			}
 			continue
